@@ -1,0 +1,108 @@
+// Command flovsim runs a single NoC simulation and prints its results:
+// either a synthetic workload (BookSim-style) or a PARSEC-substitute
+// full-system benchmark.
+//
+// Examples:
+//
+//	flovsim -mech gflov -pattern uniform -rate 0.02 -gated 0.5
+//	flovsim -mech rp -pattern tornado -rate 0.08 -gated 0.3 -cycles 200000
+//	flovsim -mech gflov -bench canneal
+//	flovsim -table1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flov"
+)
+
+func main() {
+	mechName := flag.String("mech", "gflov", "mechanism: baseline|rp|rflov|gflov")
+	patName := flag.String("pattern", "uniform", "traffic: uniform|tornado|transpose|bitcomp|neighbor|hotspot")
+	rate := flag.Float64("rate", 0.02, "injection rate (flits/cycle/node)")
+	gated := flag.Float64("gated", 0.5, "fraction of cores power-gated")
+	cycles := flag.Int64("cycles", 100_000, "total simulated cycles")
+	warmup := flag.Int64("warmup", 10_000, "warmup cycles before measurement")
+	width := flag.Int("width", 8, "mesh width")
+	height := flag.Int("height", 8, "mesh height")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	bench := flag.String("bench", "", "run a PARSEC-substitute benchmark instead (e.g. canneal)")
+	table1 := flag.Bool("table1", false, "print the Table I configuration and exit")
+	showMap := flag.Bool("map", false, "print the final power-state and activity maps")
+	traceN := flag.Int("trace", 0, "record and print the last N simulator events")
+	flag.Parse()
+
+	cfg := flov.Default()
+	cfg.Width, cfg.Height = *width, *height
+	cfg.TotalCycles, cfg.WarmupCycles = *cycles, *warmup
+	cfg.Seed = *seed
+
+	if *table1 {
+		fmt.Print(cfg.TableI())
+		return
+	}
+
+	mech, err := flov.ParseMechanism(*mechName)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *bench != "" {
+		out, err := flov.RunPARSEC(*bench, mech, *seed, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+		return
+	}
+
+	pat, err := flov.ParsePattern(*patName)
+	if err != nil {
+		fatal(err)
+	}
+	n, err := flov.Build(flov.SyntheticOptions{
+		Config:        cfg,
+		Mechanism:     mech,
+		Pattern:       pat,
+		InjRate:       *rate,
+		GatedFraction: *gated,
+		GatedSeed:     *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *traceN > 0 {
+		n.EnableTrace(flov.NewTraceLog(*traceN))
+	}
+	res := n.Run()
+	fmt.Println(res)
+	b := res.Breakdown
+	fmt.Printf("latency breakdown: router=%.1f link=%.1f serialization=%.1f flov=%.1f contention=%.1f\n",
+		b.Router, b.Link, b.Serialization, b.FLOV, b.Contention)
+	fmt.Printf("power: static=%.1fmW dynamic=%.1fmW total=%.1fmW (gated routers: %d/%d)\n",
+		res.StaticPowerW*1e3, res.DynamicPowerW*1e3, res.TotalPowerW*1e3,
+		res.GatedRouters, res.GatedRouters+res.PoweredRouters)
+	fmt.Printf("latency tail: p99<=%d max=%d cycles; escape packets: %.2f%%\n",
+		res.P99Latency, res.MaxLatency, res.EscapeFrac*100)
+	if *showMap {
+		fmt.Println("\nfinal network state:")
+		fmt.Print(flov.RenderSideBySide(n))
+	}
+	if *traceN > 0 {
+		fmt.Printf("\nlast %d of %d recorded events:\n", len(n.Trace.Tail(*traceN)), n.Trace.Total())
+		for _, e := range n.Trace.Tail(*traceN) {
+			fmt.Println(e)
+		}
+	}
+	if res.Undelivered != 0 {
+		fmt.Printf("WARNING: %d flits undelivered\n", res.Undelivered)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flovsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,48 @@
+// Parsec: run PARSEC-substitute full-system benchmarks under all four
+// mechanisms and print normalized static/total energy and runtime — the
+// experiment behind the paper's headline numbers (Figs. 8 (c)/(d)).
+//
+//	go run ./examples/parsec                 # three representative benchmarks
+//	go run ./examples/parsec blackscholes    # a specific benchmark
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"flov"
+)
+
+func main() {
+	benchmarks := []string{"blackscholes", "canneal", "x264"}
+	if len(os.Args) > 1 {
+		benchmarks = os.Args[1:]
+	}
+
+	for _, bench := range benchmarks {
+		prof, ok := flov.ProfileByName(bench)
+		if !ok {
+			log.Fatalf("unknown benchmark %q (have: %v)", bench, flov.Benchmarks())
+		}
+		// Trim the workload so the example finishes in seconds.
+		prof.QuotaPerCore /= 2
+
+		fmt.Printf("%s (%.0f%% cores gated by the OS):\n", bench, prof.GatedFraction*100)
+		var base flov.Outcome
+		for _, mech := range flov.AllMechanisms() {
+			out, err := flov.RunProfile(prof, mech, 7, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if mech == flov.Baseline {
+				base = out
+			}
+			fmt.Printf("  %-9s runtime %8d cycles (%.2fx)   Estatic %7.2f uJ (%.2fx)   Etotal %7.2f uJ (%.2fx)\n",
+				mech, out.RuntimeCyc, float64(out.RuntimeCyc)/float64(base.RuntimeCyc),
+				out.StaticPJ/1e6, out.StaticPJ/base.StaticPJ,
+				out.TotalPJ/1e6, out.TotalPJ/base.TotalPJ)
+		}
+		fmt.Println()
+	}
+}

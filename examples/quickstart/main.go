@@ -1,0 +1,32 @@
+// Quickstart: simulate an 8x8 mesh with half the cores power-gated and
+// compare generalized FLOV against the no-power-gating baseline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flov"
+)
+
+func main() {
+	for _, mech := range []flov.Mechanism{flov.Baseline, flov.GFLOV} {
+		res, err := flov.RunSynthetic(flov.SyntheticOptions{
+			Mechanism:     mech,         // power-gating scheme
+			Pattern:       flov.Uniform, // synthetic traffic
+			InjRate:       0.02,         // flits/cycle/node
+			GatedFraction: 0.5,          // half the cores asleep
+			GatedSeed:     1,            // same gated set for both runs
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s  avg latency %6.1f cycles   static %6.1f mW   total %6.1f mW   (%d routers gated)\n",
+			mech, res.AvgLatency, res.StaticPowerW*1e3, res.TotalPowerW*1e3, res.GatedRouters)
+	}
+	fmt.Println("\nFLOV power-gates the routers of sleeping cores and flies packets")
+	fmt.Println("over them through 1-cycle latches, so static power drops sharply")
+	fmt.Println("while latency stays close to the always-on baseline.")
+}

@@ -1,0 +1,57 @@
+// Saturation: sweep the offered load and print the latency-vs-load curve
+// for each mechanism with 30% of cores power-gated — the standard NoC
+// characterization behind the paper's choice of 0.02 ("low") and 0.08
+// ("high") injection rates.
+//
+//	go run ./examples/saturation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"flov"
+)
+
+func main() {
+	cfg := flov.Default()
+	cfg.TotalCycles = 30_000
+	cfg.WarmupCycles = 3_000
+
+	rates := []float64{0.02, 0.06, 0.10, 0.14, 0.18, 0.22}
+	mechs := flov.AllMechanisms()
+
+	fmt.Printf("avg latency (cycles) at 30%% gated cores:\n%-8s", "rate")
+	for _, m := range mechs {
+		fmt.Printf("%10s", m)
+	}
+	fmt.Println()
+	for _, rate := range rates {
+		fmt.Printf("%-8.2f", rate)
+		for _, m := range mechs {
+			res, err := flov.RunSynthetic(flov.SyntheticOptions{
+				Config:        cfg,
+				Mechanism:     m,
+				Pattern:       flov.Uniform,
+				InjRate:       rate,
+				GatedFraction: 0.3,
+				GatedSeed:     42,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			mark := ""
+			if res.Undelivered > 0 {
+				mark = "*" // saturated: drain deadline hit
+			}
+			fmt.Printf("%9.1f%s", res.AvgLatency, mark)
+			if mark == "" {
+				fmt.Print(" ")
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("\n* = saturated (offered load exceeds sustainable throughput).")
+	fmt.Println("RP saturates earliest: parked regions concentrate traffic on the")
+	fmt.Println("few connector routers, exactly the hotspot effect the paper notes.")
+}

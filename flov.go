@@ -1,0 +1,256 @@
+// Package flov is a cycle-accurate 2D-mesh network-on-chip simulator with
+// distributed router power-gating, reproducing "Fly-Over: A Light-Weight
+// Distributed Power-Gating Mechanism for Energy-Efficient Networks-on-Chip"
+// (Boyapati, Huang, Wang, Kim, Yum, Kim — IPDPS 2017).
+//
+// Four mechanisms are available:
+//
+//   - Baseline: no router power-gating, YX dimension-order routing;
+//   - RP: Router Parking — centralized fabric manager, connectivity-
+//     preserving parking, table routing, stall-the-network reconfiguration;
+//   - RFLOV: restricted FLOV — distributed handshakes, no two adjacent
+//     routers gated;
+//   - GFLOV: generalized FLOV — arbitrary runs of gated routers with
+//     handshake/credit relaying over FLOV links.
+//
+// The two entry points mirror the paper's evaluation: RunSynthetic drives
+// the BookSim-style synthetic workloads (uniform random, tornado, ...)
+// and RunPARSEC drives the gem5/PARSEC-substitute closed-loop workloads.
+// Lower-level access (custom schedules, direct network stepping) is
+// available through Build.
+package flov
+
+import (
+	"fmt"
+
+	"flov/internal/config"
+	"flov/internal/core"
+	"flov/internal/gating"
+	"flov/internal/network"
+	"flov/internal/nlog"
+	"flov/internal/rp"
+	"flov/internal/sim"
+	"flov/internal/stats"
+	"flov/internal/topology"
+	"flov/internal/trace"
+	"flov/internal/traffic"
+)
+
+// Re-exported configuration types. Config carries every Table I knob; see
+// Default for the paper's values.
+type (
+	// Config is the full simulation configuration (Table I parameters).
+	Config = config.Config
+	// Mechanism selects the power-gating scheme.
+	Mechanism = config.Mechanism
+	// Pattern selects a synthetic traffic pattern.
+	Pattern = traffic.Pattern
+	// Results summarizes one synthetic run (latency, breakdown, power).
+	Results = network.Results
+	// Breakdown is the Fig. 8 latency decomposition.
+	Breakdown = stats.Breakdown
+	// TimeBin is one bin of the Fig. 10 latency timeline.
+	TimeBin = stats.TimeBin
+	// Network is a fully wired simulated NoC for custom experiments.
+	Network = network.Network
+	// Schedule is a time-ordered core power-gating schedule.
+	Schedule = gating.Schedule
+	// GatingEvent switches the gated-core set at a cycle.
+	GatingEvent = gating.Event
+	// Mesh describes the 2D mesh topology.
+	Mesh = topology.Mesh
+	// Profile characterizes one PARSEC-like benchmark.
+	Profile = trace.Profile
+	// Outcome is a full-system (PARSEC) run result.
+	Outcome = trace.Outcome
+	// TraceLog is a bounded event log attachable to a Network.
+	TraceLog = nlog.Log
+	// TraceEvent is one recorded simulator event.
+	TraceEvent = nlog.Event
+)
+
+// Mechanisms.
+const (
+	Baseline = config.Baseline
+	RP       = config.RP
+	RFLOV    = config.RFLOV
+	GFLOV    = config.GFLOV
+)
+
+// Traffic patterns.
+const (
+	Uniform       = traffic.Uniform
+	Tornado       = traffic.Tornado
+	Transpose     = traffic.Transpose
+	BitComplement = traffic.BitComplement
+	Neighbor      = traffic.Neighbor
+	Hotspot       = traffic.Hotspot
+)
+
+// Default returns the paper's Table I configuration (8x8 mesh, 3-stage
+// routers, 6-flit buffers, 3+1 VCs per vnet, 1 vnet, 2 GHz, 17.7 pJ
+// gating overhead, 10-cycle wakeup).
+func Default() Config { return config.Default() }
+
+// FullSystem returns the Table I full-system variant (3 virtual networks
+// for the MESI traffic classes).
+func FullSystem() Config { return config.FullSystem() }
+
+// NewTraceLog returns an event log retaining the most recent capacity
+// events; attach it with Network.EnableTrace before running.
+func NewTraceLog(capacity int) *TraceLog { return nlog.New(capacity) }
+
+// NewMesh constructs a 2D mesh topology description.
+func NewMesh(width, height int) (Mesh, error) { return topology.NewMesh(width, height) }
+
+// NewSchedule builds a core power-gating schedule from events (the first
+// event must be at cycle 0, masks must cover n nodes).
+func NewSchedule(n int, events []GatingEvent) (*Schedule, error) { return gating.New(n, events) }
+
+// StaticSchedule builds a schedule with one constant gated set.
+func StaticSchedule(gated []bool) *Schedule { return gating.Static(gated) }
+
+// RandomGatedMask draws a mask gating `count` cores uniformly at random,
+// never gating nodes in protect. The seed makes the draw reproducible.
+func RandomGatedMask(m Mesh, count int, protect []int, seed uint64) []bool {
+	return gating.RandomGated(m, count, protect, sim.NewRNG(seed))
+}
+
+// ParseMechanism converts a name ("baseline", "rp", "rflov", "gflov").
+func ParseMechanism(s string) (Mechanism, error) { return config.ParseMechanism(s) }
+
+// ParsePattern converts a name ("uniform", "tornado", ...).
+func ParsePattern(s string) (Pattern, error) { return traffic.ParsePattern(s) }
+
+// AllMechanisms lists the four mechanisms in canonical figure order.
+func AllMechanisms() []Mechanism { return config.Mechanisms() }
+
+// NewMechanism instantiates the controller for a mechanism.
+func NewMechanism(m Mechanism) (network.Mechanism, error) {
+	switch m {
+	case Baseline:
+		return network.NewBaseline(), nil
+	case RP:
+		return rp.New(), nil
+	case RFLOV:
+		return core.NewRFLOV(), nil
+	case GFLOV:
+		return core.NewGFLOV(), nil
+	}
+	return nil, fmt.Errorf("flov: unknown mechanism %v", m)
+}
+
+// SyntheticOptions parameterizes a synthetic-workload run.
+type SyntheticOptions struct {
+	// Config defaults to Default() when zero-valued (detected via Width).
+	Config Config
+	// Mechanism under test.
+	Mechanism Mechanism
+	// Pattern of synthetic traffic.
+	Pattern Pattern
+	// InjRate is the offered load in flits/cycle/node.
+	InjRate float64
+	// GatedFraction of cores power-gated for the whole run (ignored when
+	// Schedule is set).
+	GatedFraction float64
+	// GatedSeed selects the random gated set (same seed + fraction =>
+	// same set across mechanisms, for apples-to-apples comparison).
+	GatedSeed uint64
+	// Protect lists node ids whose cores are never gated.
+	Protect []int
+	// Schedule overrides GatedFraction with a full gating timeline
+	// (used by the Fig. 10 reconfiguration experiment).
+	Schedule *Schedule
+	// Hotspots are the destinations of the Hotspot pattern.
+	Hotspots []int
+}
+
+// normalizedConfig fills in Default() when the caller left Config zero.
+func (o SyntheticOptions) normalizedConfig() Config {
+	if o.Config.Width == 0 {
+		return Default()
+	}
+	return o.Config
+}
+
+// Build assembles (but does not run) a network for the given options,
+// for callers that need cycle-level control. The returned network is
+// ready to Step.
+func Build(o SyntheticOptions) (*Network, error) {
+	cfg := o.normalizedConfig()
+	cfg.Mechanism = o.Mechanism
+	mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
+	if err != nil {
+		return nil, err
+	}
+	sched := o.Schedule
+	if sched == nil {
+		mask := gating.FractionGated(mesh, o.GatedFraction, o.Protect, sim.NewRNG(o.GatedSeed^0xabcd))
+		sched = gating.Static(mask)
+	}
+	gen := traffic.NewGenerator(o.Pattern, mesh, o.Hotspots)
+	mech, err := NewMechanism(o.Mechanism)
+	if err != nil {
+		return nil, err
+	}
+	return network.New(cfg, mech, sched, gen, o.InjRate)
+}
+
+// RunSynthetic executes the standard synthetic experiment (warmup,
+// measurement window, bounded drain) and returns its results.
+func RunSynthetic(o SyntheticOptions) (Results, error) {
+	n, err := Build(o)
+	if err != nil {
+		return Results{}, err
+	}
+	return n.Run(), nil
+}
+
+// Benchmarks lists the nine PARSEC-substitute benchmark names.
+func Benchmarks() []string {
+	ps := trace.Profiles()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ProfileByName returns the profile for a benchmark name.
+func ProfileByName(name string) (Profile, bool) { return trace.ProfileByName(name) }
+
+// RunPARSEC executes one PARSEC-substitute benchmark under a mechanism
+// and returns the full-system outcome (runtime + energy). seed controls
+// the workload's random draws; identical seeds give identical work across
+// mechanisms. maxCycles bounds the run (0 means a generous default).
+func RunPARSEC(benchmark string, m Mechanism, seed uint64, maxCycles int64) (Outcome, error) {
+	prof, ok := trace.ProfileByName(benchmark)
+	if !ok {
+		return Outcome{}, fmt.Errorf("flov: unknown benchmark %q", benchmark)
+	}
+	return RunProfile(prof, m, seed, maxCycles)
+}
+
+// RunProfile executes an arbitrary (possibly customized) profile.
+func RunProfile(prof Profile, m Mechanism, seed uint64, maxCycles int64) (Outcome, error) {
+	if maxCycles <= 0 {
+		maxCycles = 20_000_000
+	}
+	cfg := FullSystem()
+	cfg.WarmupCycles = 0
+	cfg.TotalCycles = 1 << 40
+	mech, err := NewMechanism(m)
+	if err != nil {
+		return Outcome{}, err
+	}
+	n, err := network.New(cfg, mech, nil, nil, 0)
+	if err != nil {
+		return Outcome{}, err
+	}
+	d := trace.NewDriver(n, prof, seed)
+	out := d.Run(maxCycles)
+	if !out.Completed {
+		return out, fmt.Errorf("flov: benchmark %s/%v did not complete within %d cycles", prof.Name, m, maxCycles)
+	}
+	return out, nil
+}

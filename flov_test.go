@@ -1,0 +1,148 @@
+package flov_test
+
+import (
+	"testing"
+
+	"flov"
+)
+
+func TestPublicAPISyntheticRun(t *testing.T) {
+	cfg := flov.Default()
+	cfg.TotalCycles = 15_000
+	cfg.WarmupCycles = 1_500
+	res, err := flov.RunSynthetic(flov.SyntheticOptions{
+		Config:        cfg,
+		Mechanism:     flov.GFLOV,
+		Pattern:       flov.Uniform,
+		InjRate:       0.02,
+		GatedFraction: 0.5,
+		GatedSeed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets == 0 || res.Undelivered != 0 {
+		t.Fatalf("bad run: %s", res)
+	}
+	if res.GatedRouters == 0 {
+		t.Fatal("no routers gated at 50%")
+	}
+}
+
+func TestPublicAPIDefaultsConfigWhenZero(t *testing.T) {
+	res, err := flov.RunSynthetic(flov.SyntheticOptions{
+		Mechanism: flov.Baseline,
+		Pattern:   flov.Uniform,
+		InjRate:   0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packets == 0 {
+		t.Fatal("zero-config run produced nothing")
+	}
+}
+
+func TestPublicAPIAllMechanisms(t *testing.T) {
+	cfg := flov.Default()
+	cfg.TotalCycles = 8_000
+	cfg.WarmupCycles = 800
+	for _, m := range flov.AllMechanisms() {
+		res, err := flov.RunSynthetic(flov.SyntheticOptions{
+			Config: cfg, Mechanism: m, Pattern: flov.Tornado,
+			InjRate: 0.02, GatedFraction: 0.3, GatedSeed: 9,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.Undelivered != 0 {
+			t.Fatalf("%v: %d undelivered", m, res.Undelivered)
+		}
+	}
+}
+
+func TestPublicAPIBuildAndStep(t *testing.T) {
+	n, err := flov.Build(flov.SyntheticOptions{
+		Mechanism: flov.RFLOV, Pattern: flov.Uniform, InjRate: 0.02,
+		GatedFraction: 0.2, GatedSeed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.RunCycles(500)
+	if n.Now() != 500 {
+		t.Fatalf("Now() = %d", n.Now())
+	}
+}
+
+func TestPublicAPISchedule(t *testing.T) {
+	mesh, err := flov.NewMesh(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maskA := flov.RandomGatedMask(mesh, 6, []int{0}, 1)
+	maskB := flov.RandomGatedMask(mesh, 6, []int{0}, 2)
+	sched, err := flov.NewSchedule(64, []flov.GatingEvent{
+		{At: 0, Gated: maskA},
+		{At: 5_000, Gated: maskB},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := flov.Default()
+	cfg.TotalCycles = 12_000
+	cfg.WarmupCycles = 1_000
+	res, err := flov.RunSynthetic(flov.SyntheticOptions{
+		Config: cfg, Mechanism: flov.GFLOV, Pattern: flov.Uniform,
+		InjRate: 0.02, Schedule: sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Undelivered != 0 {
+		t.Fatalf("undelivered: %d", res.Undelivered)
+	}
+}
+
+func TestPublicAPIBenchmarks(t *testing.T) {
+	names := flov.Benchmarks()
+	if len(names) != 9 {
+		t.Fatalf("want 9 PARSEC benchmarks, got %d", len(names))
+	}
+	for _, n := range names {
+		if _, ok := flov.ProfileByName(n); !ok {
+			t.Errorf("ProfileByName(%q) failed", n)
+		}
+	}
+	if _, ok := flov.ProfileByName("nope"); ok {
+		t.Error("unknown profile resolved")
+	}
+}
+
+func TestPublicAPIRunPARSEC(t *testing.T) {
+	prof, _ := flov.ProfileByName("swaptions")
+	prof.QuotaPerCore = 20
+	prof.Phases = 1
+	out, err := flov.RunProfile(prof, flov.GFLOV, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Completed || out.Transactions == 0 {
+		t.Fatalf("bad outcome: %s", out)
+	}
+}
+
+func TestPublicAPIRunPARSECUnknown(t *testing.T) {
+	if _, err := flov.RunPARSEC("nope", flov.GFLOV, 1, 0); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestPublicAPIParse(t *testing.T) {
+	if m, err := flov.ParseMechanism("gflov"); err != nil || m != flov.GFLOV {
+		t.Fatal("ParseMechanism broken")
+	}
+	if p, err := flov.ParsePattern("tornado"); err != nil || p != flov.Tornado {
+		t.Fatal("ParsePattern broken")
+	}
+}

@@ -1,0 +1,3 @@
+module flov
+
+go 1.22

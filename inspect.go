@@ -1,0 +1,56 @@
+package flov
+
+import (
+	"flov/internal/core"
+	"flov/internal/render"
+)
+
+// PowerStateGlyph returns a one-rune summary of router id's power state:
+// 'A' active, 'D' draining, 'W' waking, '.' power-gated. Mechanisms
+// without intermediate states (Baseline, RP) report only 'A' and '.'.
+func PowerStateGlyph(n *Network, id int) rune {
+	if m, ok := n.Mech.(*core.Mechanism); ok {
+		switch m.RouterState(id) {
+		case core.Active:
+			return 'A'
+		case core.Draining:
+			return 'D'
+		case core.Wakeup:
+			return 'W'
+		default:
+			return '.'
+		}
+	}
+	if n.Mech.RouterOn(id) {
+		return 'A'
+	}
+	return '.'
+}
+
+// RenderPowerMap draws the mesh's current power states as an ASCII grid
+// (north row on top) plus a legend line.
+func RenderPowerMap(n *Network) string {
+	return render.PowerMap(n.Mesh, func(id int) rune { return PowerStateGlyph(n, id) }) +
+		render.Legend() + "\n"
+}
+
+// RouterActivity returns the number of flits that crossed router id —
+// switched through its pipeline plus (for FLOV) flown over its latches.
+func RouterActivity(n *Network, id int) int64 {
+	if m, ok := n.Mech.(*core.Mechanism); ok {
+		return m.RouterActivity(id)
+	}
+	return n.Routers[id].Traversals
+}
+
+// RenderHeatMap draws per-router flit activity on a 0-9 scale.
+func RenderHeatMap(n *Network) string {
+	return render.HeatMap(n.Mesh, func(id int) float64 { return float64(RouterActivity(n, id)) })
+}
+
+// RenderSideBySide prints the power map next to the activity heat map.
+func RenderSideBySide(n *Network) string {
+	pm := render.PowerMap(n.Mesh, func(id int) rune { return PowerStateGlyph(n, id) })
+	hm := render.HeatMap(n.Mesh, func(id int) float64 { return float64(RouterActivity(n, id)) })
+	return render.SideBySide(pm, hm, "    ") + render.Legend() + "   right: flit activity 0-9\n"
+}

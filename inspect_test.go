@@ -1,0 +1,109 @@
+package flov_test
+
+import (
+	"strings"
+	"testing"
+
+	"flov"
+)
+
+func buildRan(t *testing.T, mech flov.Mechanism) *flov.Network {
+	t.Helper()
+	cfg := flov.Default()
+	cfg.TotalCycles = 8_000
+	cfg.WarmupCycles = 800
+	n, err := flov.Build(flov.SyntheticOptions{
+		Config: cfg, Mechanism: mech, Pattern: flov.Uniform,
+		InjRate: 0.02, GatedFraction: 0.5, GatedSeed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run()
+	return n
+}
+
+func TestRenderPowerMapGFLOV(t *testing.T) {
+	n := buildRan(t, flov.GFLOV)
+	out := flov.RenderPowerMap(n)
+	if !strings.Contains(out, ".") {
+		t.Fatal("no gated routers rendered at 50% gating")
+	}
+	if !strings.Contains(out, "A") {
+		t.Fatal("no active routers rendered")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 9 { // 8 rows + legend
+		t.Fatalf("unexpected shape: %d lines", len(lines))
+	}
+	// The AON column (right edge) must be all-active.
+	for _, l := range lines[:8] {
+		cells := strings.Fields(l)
+		if cells[len(cells)-1] != "A" {
+			t.Fatalf("AON column not active in row %q", l)
+		}
+	}
+}
+
+func TestRenderPowerMapBaseline(t *testing.T) {
+	n := buildRan(t, flov.Baseline)
+	out := flov.RenderPowerMap(n)
+	if strings.Contains(strings.Split(out, "\n")[0], ".") {
+		t.Fatal("baseline rendered gated routers")
+	}
+}
+
+func TestRouterActivityCounts(t *testing.T) {
+	n := buildRan(t, flov.GFLOV)
+	total := int64(0)
+	for id := 0; id < n.Cfg.N(); id++ {
+		total += flov.RouterActivity(n, id)
+	}
+	if total == 0 {
+		t.Fatal("no activity recorded")
+	}
+}
+
+func TestRenderSideBySide(t *testing.T) {
+	n := buildRan(t, flov.RP)
+	out := flov.RenderSideBySide(n)
+	if len(strings.Split(strings.TrimSpace(out), "\n")) < 8 {
+		t.Fatalf("short output:\n%s", out)
+	}
+}
+
+func TestTraceCollection(t *testing.T) {
+	cfg := flov.Default()
+	cfg.TotalCycles = 6_000
+	cfg.WarmupCycles = 600
+	n, err := flov.Build(flov.SyntheticOptions{
+		Config: cfg, Mechanism: flov.GFLOV, Pattern: flov.Uniform,
+		InjRate: 0.02, GatedFraction: 0.5, GatedSeed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity must cover the whole run: early power transitions would
+	// otherwise be evicted by the thousands of later delivery events.
+	n.EnableTrace(flov.NewTraceLog(50_000))
+	n.Run()
+	if n.Trace.Total() == 0 {
+		t.Fatal("no events recorded")
+	}
+	sawTransition, sawDelivery := false, false
+	for _, e := range n.Trace.Events() {
+		s := e.String()
+		if strings.Contains(s, "->") && strings.Contains(s, "trans") {
+			sawTransition = true
+		}
+		if strings.Contains(s, "delivered") {
+			sawDelivery = true
+		}
+	}
+	if !sawDelivery {
+		t.Fatal("no delivery events")
+	}
+	if !sawTransition {
+		t.Fatal("no power-transition events")
+	}
+}

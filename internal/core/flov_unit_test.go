@@ -1,0 +1,292 @@
+package core
+
+import (
+	"testing"
+
+	"flov/internal/config"
+	"flov/internal/gating"
+	"flov/internal/network"
+	"flov/internal/noc"
+	"flov/internal/sim"
+	"flov/internal/topology"
+	"flov/internal/traffic"
+)
+
+// newBareNet builds a tiny gFLOV network for white-box wrapper tests.
+func newBareNet(t *testing.T, generalized bool) (*network.Network, *Mechanism) {
+	t.Helper()
+	cfg := config.Default()
+	cfg.TotalCycles = 1 << 30
+	var mech *Mechanism
+	if generalized {
+		mech = NewGFLOV()
+	} else {
+		mech = NewRFLOV()
+	}
+	n, err := network.New(cfg, mech, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, mech
+}
+
+func TestAllocOKTable(t *testing.T) {
+	_, mech := newBareNet(t, true)
+	w := mech.ws[27] // interior router
+	d := int(topology.East)
+
+	cases := []struct {
+		phys, log PowerState
+		logID     int
+		want      bool
+	}{
+		{Active, Active, 28, true},
+		{Draining, Draining, 28, false},
+		{Wakeup, Wakeup, 28, false},
+		{Sleep, Active, 29, true},    // stable fly-over path
+		{Sleep, Draining, 29, false}, // logical partner draining
+		{Sleep, Wakeup, 29, false},   // router on the line waking
+		{Sleep, Active, -1, false},   // no powered router beyond (dead end)
+	}
+	for i, c := range cases {
+		w.physState[d] = c.phys
+		w.logState[d] = c.log
+		w.logID[d] = c.logID
+		if got := w.allocOK(topology.East); got != c.want {
+			t.Errorf("case %d (%v/%v/%d): allocOK = %v want %v", i, c.phys, c.log, c.logID, got, c.want)
+		}
+	}
+	if !w.allocOK(topology.Local) {
+		t.Error("Local must always allow allocation")
+	}
+}
+
+func TestDrainEligibility(t *testing.T) {
+	for _, generalized := range []bool{false, true} {
+		_, mech := newBareNet(t, generalized)
+		w := mech.ws[27]
+		now := int64(1000)
+
+		// Not gated: never eligible.
+		if w.drainEligible(now) {
+			t.Fatal("eligible without a gated core")
+		}
+		w.coreGated = true
+		w.lastLocal = now - int64(w.cfg.IdleThreshold) - 1
+		if !w.drainEligible(now) {
+			t.Fatalf("generalized=%v: should be eligible when idle and neighbors active", generalized)
+		}
+		// Too recent local activity.
+		w.lastLocal = now - 1
+		if w.drainEligible(now) {
+			t.Fatal("eligible despite recent local traffic")
+		}
+		w.lastLocal = now - 100
+
+		// Neighbor transitions block.
+		w.physState[0] = Draining
+		w.logState[0] = Draining
+		if w.drainEligible(now) {
+			t.Fatalf("generalized=%v: eligible with draining neighbor", generalized)
+		}
+		w.physState[0] = Active
+		w.logState[0] = Active
+
+		// rFLOV only: a sleeping physical neighbor blocks; gFLOV allows.
+		w.physState[1] = Sleep
+		w.logState[1] = Active
+		w.logID[1] = mech.net.Mesh.Neighbor(w.physID[1], topology.East)
+		got := w.drainEligible(now)
+		if generalized && !got {
+			t.Fatal("gFLOV: sleeping neighbor must not block draining")
+		}
+		if !generalized && got {
+			t.Fatal("rFLOV: sleeping neighbor must block draining")
+		}
+	}
+}
+
+func TestAONNeverGates(t *testing.T) {
+	_, mech := newBareNet(t, true)
+	w := mech.ws[mech.net.Mesh.ID(7, 3)]
+	if !w.neverGate {
+		t.Fatal("AON-column router must be marked neverGate")
+	}
+	w.coreGated = true
+	w.lastLocal = -1000
+	if w.drainEligible(1000) {
+		t.Fatal("AON router eligible to drain")
+	}
+}
+
+func TestObservePSRUpdates(t *testing.T) {
+	_, mech := newBareNet(t, true)
+	w := mech.ws[27]
+	d := topology.East
+	nb := w.physID[int(d)]
+
+	w.observe(d, Msg{Type: MsgDrainReq, From: nb})
+	if w.physState[d] != Draining || w.logState[d] != Draining {
+		t.Fatal("DrainReq not observed")
+	}
+	w.observe(d, Msg{Type: MsgDrainAbort, From: nb})
+	if w.physState[d] != Active || w.logState[d] != Active {
+		t.Fatal("DrainAbort not observed")
+	}
+	w.observe(d, Msg{Type: MsgSleep, From: nb, LogID: nb + 1, LogState: Active})
+	if w.physState[d] != Sleep || w.logID[d] != nb+1 {
+		t.Fatal("Sleep not observed")
+	}
+	w.observe(d, Msg{Type: MsgAwake, From: nb})
+	if w.physState[d] != Active || w.logID[d] != nb || w.logState[d] != Active {
+		t.Fatal("Awake not observed")
+	}
+}
+
+func TestPowerViewFromPSR(t *testing.T) {
+	_, mech := newBareNet(t, true)
+	w := mech.ws[27]
+	d := topology.North
+	if !w.NeighborOn(27, d) {
+		t.Fatal("fresh network: neighbor must be on")
+	}
+	w.physState[int(d)] = Sleep
+	w.logID[int(d)] = 51
+	if w.NeighborOn(27, d) {
+		t.Fatal("sleeping neighbor reported on")
+	}
+	if w.LogicalNeighbor(27, d) != 51 {
+		t.Fatal("logical neighbor not taken from PSR set 2")
+	}
+}
+
+// TestWakeOnDestination gates one core, lets its router sleep, then sends
+// a packet to it: the router must wake and the packet must be delivered.
+func TestWakeOnDestination(t *testing.T) {
+	cfg := config.Default()
+	cfg.TotalCycles = 1 << 30
+	mesh, _ := topology.NewMesh(cfg.Width, cfg.Height)
+	target := mesh.ID(3, 3)
+	mask := make([]bool, cfg.N())
+	mask[target] = true
+	mech := NewGFLOV()
+	n, err := network.New(cfg, mech, gating.Static(mask), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the target router drain and sleep.
+	for i := 0; i < 200 && mech.RouterState(target) != Sleep; i++ {
+		n.Step()
+	}
+	if mech.RouterState(target) != Sleep {
+		t.Fatal("target router never slept")
+	}
+	// Send it a packet from the west side.
+	src := mesh.ID(0, 3)
+	delivered := false
+	n.NIs[target].OnDeliver = func(p *noc.Packet, now int64) { delivered = true }
+	n.NIs[src].Enqueue(n.NewPacket(src, target, 0, cfg.PacketSize))
+	for i := 0; i < 2000 && !delivered; i++ {
+		n.Step()
+	}
+	if !delivered {
+		t.Fatalf("packet to gated destination never delivered (router state %v)", mech.RouterState(target))
+	}
+	if mech.ws[target].wakes == 0 {
+		t.Fatal("destination router never woke")
+	}
+}
+
+// TestReSleepAfterWakeOnDest: after delivering, the still-gated core's
+// router goes back to sleep.
+func TestReSleepAfterWakeOnDest(t *testing.T) {
+	cfg := config.Default()
+	cfg.TotalCycles = 1 << 30
+	mesh, _ := topology.NewMesh(cfg.Width, cfg.Height)
+	target := mesh.ID(3, 3)
+	mask := make([]bool, cfg.N())
+	mask[target] = true
+	mech := NewGFLOV()
+	n, err := network.New(cfg, mech, gating.Static(mask), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		n.Step()
+	}
+	src := mesh.ID(3, 0)
+	n.NIs[src].Enqueue(n.NewPacket(src, target, 0, cfg.PacketSize))
+	slept := int64(0)
+	for i := 0; i < 3000; i++ {
+		n.Step()
+		if mech.ws[target].sleeps >= 2 {
+			slept = n.Now()
+			break
+		}
+	}
+	if slept == 0 {
+		t.Fatalf("router did not re-sleep after serving the wake-on-dest packet (state %v, sleeps %d)",
+			mech.RouterState(target), mech.ws[target].sleeps)
+	}
+}
+
+// TestDeterminism: identical seeds give bit-identical results.
+func TestDeterminism(t *testing.T) {
+	run := func() network.Results {
+		cfg := config.Default()
+		cfg.TotalCycles = 15_000
+		cfg.WarmupCycles = 1_000
+		mesh, _ := topology.NewMesh(cfg.Width, cfg.Height)
+		mask := gating.FractionGated(mesh, 0.5, nil, sim.NewRNG(3))
+		gen := traffic.NewGenerator(traffic.Uniform, mesh, nil)
+		n, err := network.New(cfg, NewGFLOV(), gating.Static(mask), gen, 0.04)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n.Run()
+	}
+	a, b := run(), run()
+	if a.AvgLatency != b.AvgLatency || a.Packets != b.Packets ||
+		a.TotalEnergyPJ != b.TotalEnergyPJ || a.GatedRouters != b.GatedRouters {
+		t.Fatalf("nondeterministic results:\n%s\n%s", a, b)
+	}
+}
+
+// TestCreditRestoration: after a run fully drains, every Active router's
+// output credits toward an Active physical neighbor must be back at full
+// buffer depth — credits are conserved end to end.
+func TestCreditRestoration(t *testing.T) {
+	cfg := config.Default()
+	cfg.TotalCycles = 15_000
+	cfg.WarmupCycles = 1_000
+	mesh, _ := topology.NewMesh(cfg.Width, cfg.Height)
+	mask := gating.FractionGated(mesh, 0.4, nil, sim.NewRNG(11))
+	gen := traffic.NewGenerator(traffic.Uniform, mesh, nil)
+	mech := NewGFLOV()
+	n, err := network.New(cfg, mech, gating.Static(mask), gen, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := n.Run()
+	if res.Undelivered != 0 {
+		t.Fatalf("undelivered flits: %d", res.Undelivered)
+	}
+	for id, w := range mech.ws {
+		if w.state != Active {
+			continue
+		}
+		for d := 0; d < topology.NumLinkDirs; d++ {
+			nb := w.physID[d]
+			if nb < 0 || mech.ws[nb].state != Active || w.physState[d] != Active {
+				continue
+			}
+			out := n.Routers[id].Out(topology.Direction(d))
+			for vc, c := range out.Credits {
+				if c != cfg.BufferDepth {
+					t.Fatalf("router %d dir %v vc %d: credits %d != depth %d after drain",
+						id, topology.Direction(d), vc, c, cfg.BufferDepth)
+				}
+			}
+		}
+	}
+}

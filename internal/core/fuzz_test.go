@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"flov/internal/config"
+	"flov/internal/gating"
+	"flov/internal/network"
+	"flov/internal/sim"
+	"flov/internal/topology"
+	"flov/internal/traffic"
+)
+
+// TestChurnManySeeds fuzzes the handshake protocols across many random
+// gating timelines: every seed produces a different interleaving of
+// drains, wakeups, aborts and traffic. Each run must deliver every flit.
+func TestChurnManySeeds(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 5, 8, 13, 21, 34}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	for _, generalized := range []bool{false, true} {
+		for _, seed := range seeds {
+			seed, generalized := seed, generalized
+			t.Run(fmt.Sprintf("gen=%v/seed=%d", generalized, seed), func(t *testing.T) {
+				t.Parallel()
+				cfg := config.Default()
+				cfg.TotalCycles = 8_000
+				cfg.WarmupCycles = 500
+				cfg.DrainCycles = 30_000
+				cfg.Seed = seed
+				mesh, _ := topology.NewMesh(cfg.Width, cfg.Height)
+
+				// Random timeline: mask changes at random intervals with
+				// random fractions.
+				rng := sim.NewRNG(seed * 977)
+				var events []gating.Event
+				at := int64(0)
+				for at < cfg.TotalCycles {
+					frac := 0.1 + 0.8*rng.Float64()
+					events = append(events, gating.Event{
+						At:    at,
+						Gated: gating.FractionGated(mesh, frac, nil, rng.Fork(uint64(at)+1)),
+					})
+					at += 200 + int64(rng.Intn(1500))
+				}
+				sched, err := gating.New(cfg.N(), events)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				gen := traffic.NewGenerator(traffic.Uniform, mesh, nil)
+				var mech network.Mechanism
+				if generalized {
+					mech = NewGFLOV()
+				} else {
+					mech = NewRFLOV()
+				}
+				rate := 0.01 + 0.05*rng.Float64()
+				n, err := network.New(cfg, mech, sched, gen, rate)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := n.Run()
+				if res.Undelivered != 0 {
+					t.Fatalf("seed %d rate %.3f: %d undelivered flits", seed, rate, res.Undelivered)
+				}
+				if res.Packets == 0 {
+					t.Fatalf("seed %d: no packets", seed)
+				}
+			})
+		}
+	}
+}

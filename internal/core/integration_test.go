@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"flov/internal/config"
+	"flov/internal/gating"
+	"flov/internal/network"
+	"flov/internal/sim"
+	"flov/internal/topology"
+	"flov/internal/traffic"
+)
+
+// buildFLOV assembles a FLOV network with the given gated fraction.
+func buildFLOV(t *testing.T, generalized bool, frac float64, rate float64, total int64, pattern traffic.Pattern) (*network.Network, *Mechanism) {
+	t.Helper()
+	cfg := config.Default()
+	cfg.TotalCycles = total
+	cfg.WarmupCycles = total / 10
+	mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := gating.FractionGated(mesh, frac, nil, sim.NewRNG(7))
+	sched := gating.Static(mask)
+	gen := traffic.NewGenerator(pattern, mesh, nil)
+	var mech *Mechanism
+	if generalized {
+		mech = NewGFLOV()
+	} else {
+		mech = NewRFLOV()
+	}
+	n, err := network.New(cfg, mech, sched, gen, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, mech
+}
+
+func TestGFLOVUniformDelivers(t *testing.T) {
+	for _, frac := range []float64{0.0, 0.2, 0.5, 0.8} {
+		n, mech := buildFLOV(t, true, frac, 0.02, 30000, traffic.Uniform)
+		res := n.Run()
+		if res.Packets == 0 {
+			t.Fatalf("frac=%.1f: no packets delivered", frac)
+		}
+		if res.Undelivered != 0 {
+			t.Fatalf("frac=%.1f: %d undelivered flits (%s)", frac, res.Undelivered, res)
+		}
+		sleeps, _, _ := mech.SleepStats()
+		if frac >= 0.2 && sleeps == 0 {
+			t.Fatalf("frac=%.1f: no routers ever slept", frac)
+		}
+		t.Logf("frac=%.1f: %s gatedRouters=%d sleeps=%d", frac, res, res.GatedRouters, sleeps)
+	}
+}
+
+func TestRFLOVUniformDelivers(t *testing.T) {
+	for _, frac := range []float64{0.2, 0.5, 0.8} {
+		n, mech := buildFLOV(t, false, frac, 0.02, 30000, traffic.Uniform)
+		res := n.Run()
+		if res.Packets == 0 || res.Undelivered != 0 {
+			t.Fatalf("frac=%.1f: packets=%d undelivered=%d", frac, res.Packets, res.Undelivered)
+		}
+		// rFLOV invariant: no two adjacent routers gated simultaneously.
+		gatedSet := map[int]bool{}
+		for _, id := range mech.GatedRouterIDs() {
+			gatedSet[id] = true
+		}
+		for id := range gatedSet {
+			for d := topology.Direction(0); d < topology.NumLinkDirs; d++ {
+				nb := n.Mesh.Neighbor(id, d)
+				if nb >= 0 && gatedSet[nb] {
+					t.Fatalf("frac=%.1f: adjacent gated routers %d and %d under rFLOV", frac, id, nb)
+				}
+			}
+		}
+		t.Logf("frac=%.1f: %s gatedRouters=%d", frac, res, res.GatedRouters)
+	}
+}
+
+func TestGFLOVTornadoDelivers(t *testing.T) {
+	n, _ := buildFLOV(t, true, 0.5, 0.02, 30000, traffic.Tornado)
+	res := n.Run()
+	if res.Packets == 0 || res.Undelivered != 0 {
+		t.Fatalf("packets=%d undelivered=%d", res.Packets, res.Undelivered)
+	}
+	t.Logf("%s flovHopsSeen(breakdown FLOV)=%.2f", res, res.Breakdown.FLOV)
+}
+
+// AON column must never gate.
+func TestAONColumnStaysOn(t *testing.T) {
+	n, mech := buildFLOV(t, true, 0.8, 0.02, 20000, traffic.Uniform)
+	res := n.Run()
+	_ = res
+	for y := 0; y < n.Cfg.Height; y++ {
+		id := n.Mesh.ID(n.Cfg.Width-1, y)
+		if mech.RouterState(id) == Sleep {
+			t.Fatalf("AON router %d is power-gated", id)
+		}
+	}
+}

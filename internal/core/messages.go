@@ -1,0 +1,148 @@
+// Package core implements the paper's contribution: the FLOV router
+// architecture and the two distributed handshake protocols (restricted
+// FLOV and generalized FLOV).
+//
+// Each baseline router is wrapped by a flovRouter that adds:
+//   - the Fig. 2 power-state FSM (Active / Draining / Sleep / Wakeup),
+//   - Power State Registers for physical and logical neighbors,
+//   - HandShake Control (HSC) message handling with relaying across
+//     power-gated routers (gFLOV),
+//   - the FLOV latch datapath that flies flits over sleeping routers,
+//   - credit copy-up and relaying so logical neighbors stay flow-
+//     controlled without waking intermediate routers.
+//
+// Everything is message-driven over the per-link control channels: no
+// router ever reads another router's state directly, matching the
+// paper's claim of a fully distributed mechanism.
+package core
+
+import "fmt"
+
+// PowerState is a router's position in the Fig. 2 state machine.
+type PowerState uint8
+
+// Power states.
+const (
+	Active PowerState = iota
+	Draining
+	Sleep
+	Wakeup
+)
+
+// String names the state.
+func (s PowerState) String() string {
+	switch s {
+	case Active:
+		return "Active"
+	case Draining:
+		return "Draining"
+	case Sleep:
+		return "Sleep"
+	case Wakeup:
+		return "Wakeup"
+	default:
+		return fmt.Sprintf("PowerState(%d)", int(s))
+	}
+}
+
+// MsgType enumerates HSC handshake messages.
+type MsgType uint8
+
+// Handshake message types. All travel on the ordered per-link control
+// channels; power-gated routers relay them along the line (updating their
+// own PSRs as they pass), so two active logical neighbors can handshake
+// across any number of sleeping routers.
+const (
+	// MsgDrainReq announces the sender entered Draining.
+	MsgDrainReq MsgType = iota
+	// MsgDrainAbort announces the sender returned from Draining to Active.
+	MsgDrainAbort
+	// MsgDrainReject tells a draining router to abort (receiver is
+	// draining with a smaller id, or is waking up — wakeup has priority).
+	MsgDrainReject
+	// MsgDrainDone tells a draining/waking partner the sender has no
+	// packets still committed toward it.
+	MsgDrainDone
+	// MsgSleep announces the sender power-gated itself; carries the
+	// credit counts of the sender's far-side output plus the identity and
+	// state of the sender's far-side logical neighbor (credit copy-up and
+	// logical-PSR update, Fig. 3 (d)-(e)).
+	MsgSleep
+	// MsgWakeupReq announces the sender entered Wakeup.
+	MsgWakeupReq
+	// MsgWakeupAbort announces the sender gave up on a wakeup attempt
+	// (transition timeout) and went back to Sleep; it will retry after a
+	// backoff. Implementation-level liveness addition: under heavy OS
+	// churn, many simultaneous wakeups can freeze each other's lines
+	// into a circular wait, and aborting releases it (see DESIGN.md).
+	MsgWakeupAbort
+	// MsgAwake announces the sender finished waking and is Active; the
+	// receiver resets credits toward the sender to full and replies with
+	// MsgCreditSync.
+	MsgAwake
+	// MsgCreditSync carries the receiver-side free-slot counts so a
+	// freshly woken router can rebuild its credit counters.
+	MsgCreditSync
+	// MsgWakeTarget asks the (power-gated) Target router to wake up
+	// because a packet destined to its core is being held upstream.
+	MsgWakeTarget
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgDrainReq:
+		return "DrainReq"
+	case MsgDrainAbort:
+		return "DrainAbort"
+	case MsgDrainReject:
+		return "DrainReject"
+	case MsgDrainDone:
+		return "DrainDone"
+	case MsgSleep:
+		return "Sleep"
+	case MsgWakeupReq:
+		return "WakeupReq"
+	case MsgWakeupAbort:
+		return "WakeupAbort"
+	case MsgAwake:
+		return "Awake"
+	case MsgCreditSync:
+		return "CreditSync"
+	case MsgWakeTarget:
+		return "WakeTarget"
+	default:
+		return fmt.Sprintf("MsgType(%d)", int(t))
+	}
+}
+
+// Msg is one HSC handshake message.
+type Msg struct {
+	Type MsgType
+	From int // originating router id
+
+	// Target is the router MsgWakeTarget addresses; -1 otherwise.
+	Target int
+
+	// To addresses point-to-point replies (MsgDrainDone, MsgDrainReject,
+	// MsgCreditSync) to a specific router: every router on the line
+	// forwards a reply not addressed to it, so a reply can never be
+	// mis-consumed by another router that happens to be handshaking on
+	// the same line. -1 for broadcast announcements.
+	To int
+
+	// Counts carries per-VC credit counts: for MsgSleep, the sender's
+	// far-side output counters (credit copy-up); for MsgCreditSync, the
+	// sender's input-buffer free slots.
+	Counts []int
+
+	// LogID/LogState describe the sender's far-side logical neighbor
+	// (MsgSleep): the receiver's new logical neighbor in that direction.
+	LogID    int
+	LogState PowerState
+}
+
+// String renders a compact debug form.
+func (m Msg) String() string {
+	return fmt.Sprintf("%s(from %d)", m.Type, m.From)
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"flov/internal/config"
+	"flov/internal/gating"
+	"flov/internal/network"
+	"flov/internal/sim"
+	"flov/internal/topology"
+	"flov/internal/traffic"
+)
+
+// churnSchedule re-draws the gated set every `period` cycles with varying
+// fractions — an adversarial OS that constantly consolidates threads.
+func churnSchedule(t *testing.T, mesh topology.Mesh, total, period int64, seed uint64) *gating.Schedule {
+	t.Helper()
+	rng := sim.NewRNG(seed)
+	var events []gating.Event
+	fracs := []float64{0.1, 0.5, 0.3, 0.7, 0.2, 0.6, 0.4, 0.8}
+	i := 0
+	for at := int64(0); at < total; at += period {
+		events = append(events, gating.Event{
+			At:    at,
+			Gated: gating.FractionGated(mesh, fracs[i%len(fracs)], nil, rng.Fork(uint64(i))),
+		})
+		i++
+	}
+	sched, err := gating.New(mesh.N(), events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched
+}
+
+// TestChurnStress runs both FLOV protocols under frequent random gating
+// changes and live traffic: every packet must still be delivered, the
+// rFLOV adjacency invariant must hold throughout, and the run must
+// remain deterministic.
+func TestChurnStress(t *testing.T) {
+	for _, generalized := range []bool{false, true} {
+		for _, period := range []int64{500, 2000} {
+			name := fmt.Sprintf("gen=%v/period=%d", generalized, period)
+			t.Run(name, func(t *testing.T) {
+				cfg := config.Default()
+				cfg.TotalCycles = 20_000
+				cfg.WarmupCycles = 1_000
+				mesh, _ := topology.NewMesh(cfg.Width, cfg.Height)
+				sched := churnSchedule(t, mesh, cfg.TotalCycles, period, 77)
+				gen := traffic.NewGenerator(traffic.Uniform, mesh, nil)
+				var mech *Mechanism
+				if generalized {
+					mech = NewGFLOV()
+				} else {
+					mech = NewRFLOV()
+				}
+				n, err := network.New(cfg, mech, sched, gen, 0.04)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				// Step manually so invariants can be checked per epoch.
+				for n.Now() < cfg.TotalCycles {
+					n.Step()
+					if !generalized && n.Now()%251 == 0 {
+						assertNoAdjacentSleepers(t, n, mech)
+					}
+				}
+				n.StopGeneration(n.Now())
+				deadline := n.Now() + cfg.DrainCycles
+				for n.Now() < deadline && !n.Drained() {
+					n.Step()
+				}
+				res := n.Collect()
+				if res.Undelivered != 0 {
+					t.Fatalf("%d undelivered flits after churn", res.Undelivered)
+				}
+				sleeps, wakes, aborts := mech.SleepStats()
+				if sleeps == 0 || wakes == 0 {
+					t.Fatalf("no churn happened: sleeps=%d wakes=%d", sleeps, wakes)
+				}
+				t.Logf("%s: pkts=%d lat=%.1f sleeps=%d wakes=%d aborts=%d",
+					name, res.Packets, res.AvgLatency, sleeps, wakes, aborts)
+			})
+		}
+	}
+}
+
+func assertNoAdjacentSleepers(t *testing.T, n *network.Network, mech *Mechanism) {
+	t.Helper()
+	for _, id := range mech.GatedRouterIDs() {
+		for d := topology.Direction(0); d < topology.NumLinkDirs; d++ {
+			nb := n.Mesh.Neighbor(id, d)
+			if nb >= 0 && mech.RouterState(nb) == Sleep {
+				t.Fatalf("cycle %d: rFLOV adjacency violation: %d and %d both asleep", n.Now(), id, nb)
+			}
+		}
+	}
+}
+
+// TestChurnHighLoad pushes near-saturation load through gFLOV while the
+// mask churns: a liveness test for the handshake under congestion.
+func TestChurnHighLoad(t *testing.T) {
+	cfg := config.Default()
+	cfg.TotalCycles = 15_000
+	cfg.WarmupCycles = 1_000
+	cfg.DrainCycles = 60_000
+	mesh, _ := topology.NewMesh(cfg.Width, cfg.Height)
+	sched := churnSchedule(t, mesh, cfg.TotalCycles, 3_000, 13)
+	gen := traffic.NewGenerator(traffic.Uniform, mesh, nil)
+	n, err := network.New(cfg, NewGFLOV(), sched, gen, 0.12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := n.Run()
+	if res.Undelivered != 0 {
+		t.Fatalf("%d undelivered flits at high load", res.Undelivered)
+	}
+	t.Logf("high load: %s escape=%.3f", res, res.EscapeFrac)
+}
+
+// TestManyMeshSizes exercises non-8x8 topologies, including rectangular
+// meshes, for both protocols.
+func TestManyMeshSizes(t *testing.T) {
+	sizes := [][2]int{{4, 4}, {4, 8}, {8, 4}, {16, 16}, {5, 7}}
+	for _, sz := range sizes {
+		for _, generalized := range []bool{false, true} {
+			name := fmt.Sprintf("%dx%d/gen=%v", sz[0], sz[1], generalized)
+			t.Run(name, func(t *testing.T) {
+				if sz[0]*sz[1] >= 256 && testing.Short() {
+					t.Skip("large mesh")
+				}
+				cfg := config.Default()
+				cfg.Width, cfg.Height = sz[0], sz[1]
+				cfg.TotalCycles = 12_000
+				cfg.WarmupCycles = 1_000
+				mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mask := gating.FractionGated(mesh, 0.5, nil, sim.NewRNG(5))
+				gen := traffic.NewGenerator(traffic.Uniform, mesh, nil)
+				var mech network.Mechanism
+				if generalized {
+					mech = NewGFLOV()
+				} else {
+					mech = NewRFLOV()
+				}
+				n, err := network.New(cfg, mech, gating.Static(mask), gen, 0.02)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := n.Run()
+				if res.Packets == 0 || res.Undelivered != 0 {
+					t.Fatalf("packets=%d undelivered=%d", res.Packets, res.Undelivered)
+				}
+			})
+		}
+	}
+}
+
+// TestAllPatternsAllProtocols covers every synthetic pattern.
+func TestAllPatternsAllProtocols(t *testing.T) {
+	patterns := []traffic.Pattern{
+		traffic.Uniform, traffic.Tornado, traffic.Transpose,
+		traffic.BitComplement, traffic.Neighbor, traffic.Hotspot,
+	}
+	cfg := config.Default()
+	cfg.TotalCycles = 10_000
+	cfg.WarmupCycles = 1_000
+	mesh, _ := topology.NewMesh(cfg.Width, cfg.Height)
+	hotspots := []int{mesh.ID(7, 0), mesh.ID(7, 7)} // AON column: always on
+	for _, p := range patterns {
+		for _, generalized := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%v/gen=%v", p, generalized), func(t *testing.T) {
+				mask := gating.FractionGated(mesh, 0.4, nil, sim.NewRNG(3))
+				gen := traffic.NewGenerator(p, mesh, hotspots)
+				var mech network.Mechanism
+				if generalized {
+					mech = NewGFLOV()
+				} else {
+					mech = NewRFLOV()
+				}
+				n, err := network.New(cfg, mech, gating.Static(mask), gen, 0.02)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := n.Run()
+				if res.Undelivered != 0 {
+					t.Fatalf("%d undelivered", res.Undelivered)
+				}
+			})
+		}
+	}
+}

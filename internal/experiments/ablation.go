@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flov/internal/config"
+	"flov/internal/core"
+	"flov/internal/gating"
+	"flov/internal/network"
+	"flov/internal/sim"
+	"flov/internal/topology"
+	"flov/internal/traffic"
+)
+
+// SaturationRates is the offered-load sweep for the latency-vs-load curve
+// (the standard NoC characterization the paper's Figs. 6/7 sample at two
+// points).
+var SaturationRates = []float64{0.02, 0.06, 0.10, 0.14, 0.18, 0.22, 0.26, 0.30}
+
+// SaturationSweep measures average latency against offered load for every
+// mechanism at a fixed gated fraction, producing the classic saturation
+// curve. Runs past saturation are reported as-is (latency explodes and
+// some flits may remain undelivered at the drain deadline — that IS the
+// signal).
+func SaturationSweep(pattern traffic.Pattern, frac float64, o Options) ([]SweepRow, error) {
+	var rows []SweepRow
+	for _, rate := range SaturationRates {
+		for _, m := range config.Mechanisms() {
+			r, err := buildAndRunTolerant(pattern, rate, frac, m, o)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// buildAndRunTolerant is buildAndRun without the implicit expectation of
+// full delivery: above saturation, undelivered flits are expected.
+func buildAndRunTolerant(pattern traffic.Pattern, rate, frac float64, mech config.Mechanism, o Options) (SweepRow, error) {
+	return buildAndRun(pattern, rate, frac, mech, o)
+}
+
+// AblationParam selects a design knob to sweep (the design choices
+// DESIGN.md calls out).
+type AblationParam int
+
+// Ablatable parameters.
+const (
+	// AblEscapeTimeout sweeps the Duato-recovery threshold: too small and
+	// packets needlessly serialize into the single escape VC; too large
+	// and transient blocking lingers.
+	AblEscapeTimeout AblationParam = iota
+	// AblWakeupLatency sweeps the circuit wakeup cost (Table I: 10).
+	AblWakeupLatency
+	// AblIdleThreshold sweeps how long a gated-core router waits before
+	// draining: small = aggressive gating (more transitions), large =
+	// conservative (less static saving).
+	AblIdleThreshold
+	// AblBufferDepth sweeps input VC buffer depth.
+	AblBufferDepth
+	// AblTransitionTimeout sweeps the liveness abort threshold.
+	AblTransitionTimeout
+)
+
+// String names the parameter.
+func (p AblationParam) String() string {
+	switch p {
+	case AblEscapeTimeout:
+		return "escape-timeout"
+	case AblWakeupLatency:
+		return "wakeup-latency"
+	case AblIdleThreshold:
+		return "idle-threshold"
+	case AblBufferDepth:
+		return "buffer-depth"
+	case AblTransitionTimeout:
+		return "transition-timeout"
+	default:
+		return fmt.Sprintf("AblationParam(%d)", int(p))
+	}
+}
+
+// DefaultAblationValues returns a sensible sweep per parameter.
+func DefaultAblationValues(p AblationParam) []int {
+	switch p {
+	case AblEscapeTimeout:
+		return []int{16, 64, 256}
+	case AblWakeupLatency:
+		return []int{0, 10, 40, 100}
+	case AblIdleThreshold:
+		return []int{2, 8, 64, 512}
+	case AblBufferDepth:
+		return []int{4, 6, 10}
+	case AblTransitionTimeout:
+		return []int{64, 256, 1024}
+	default:
+		return nil
+	}
+}
+
+// AblationRow is one point of an ablation sweep.
+type AblationRow struct {
+	Param      string
+	Value      int
+	Mechanism  string
+	AvgLatency float64
+	StaticW    float64
+	TotalW     float64
+	GatedRout  int
+}
+
+// Ablate sweeps one design knob for gFLOV under uniform random traffic at
+// 0.02 flits/cycle/node with half the cores gated — the configuration the
+// paper's qualitative arguments are about.
+func Ablate(p AblationParam, values []int, o Options) ([]AblationRow, error) {
+	if values == nil {
+		values = DefaultAblationValues(p)
+	}
+	var rows []AblationRow
+	for _, v := range values {
+		cfg := config.Default()
+		cfg.WarmupCycles, cfg.TotalCycles = o.cycles()
+		cfg.Seed = o.Seed + 1
+		switch p {
+		case AblEscapeTimeout:
+			cfg.EscapeTimeout = v
+		case AblWakeupLatency:
+			cfg.WakeupLatency = v
+		case AblIdleThreshold:
+			cfg.IdleThreshold = v
+		case AblBufferDepth:
+			cfg.BufferDepth = v
+		case AblTransitionTimeout:
+			cfg.TransitionTimeout = v
+		}
+		r, err := runWithConfig(cfg, traffic.Uniform, 0.02, 0.5, config.GFLOV, o)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Param:      p.String(),
+			Value:      v,
+			Mechanism:  r.Mechanism,
+			AvgLatency: r.AvgLatency,
+			StaticW:    r.StaticPowerW,
+			TotalW:     r.TotalPowerW,
+			GatedRout:  r.GatedRouters,
+		})
+	}
+	return rows, nil
+}
+
+// ChurnAblationRow measures a protocol constant under gating churn —
+// where the transition machinery is actually exercised (under a static
+// mask these constants are invisible; see EXPERIMENTS.md).
+type ChurnAblationRow struct {
+	Param       string
+	Value       int
+	AvgLatency  float64
+	TotalPowerW float64
+	Sleeps      int64
+	Wakes       int64
+	Aborts      int64
+}
+
+// AblateUnderChurn sweeps a design knob for gFLOV while the gated set is
+// re-drawn every `period` cycles (an OS aggressively consolidating
+// threads), reporting transition counts alongside latency and power.
+func AblateUnderChurn(p AblationParam, values []int, period int64, o Options) ([]ChurnAblationRow, error) {
+	if values == nil {
+		values = DefaultAblationValues(p)
+	}
+	var rows []ChurnAblationRow
+	for _, v := range values {
+		cfg := config.Default()
+		cfg.WarmupCycles, cfg.TotalCycles = o.cycles()
+		cfg.Seed = o.Seed + 1
+		switch p {
+		case AblEscapeTimeout:
+			cfg.EscapeTimeout = v
+		case AblWakeupLatency:
+			cfg.WakeupLatency = v
+		case AblIdleThreshold:
+			cfg.IdleThreshold = v
+		case AblBufferDepth:
+			cfg.BufferDepth = v
+		case AblTransitionTimeout:
+			cfg.TransitionTimeout = v
+		}
+		mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
+		if err != nil {
+			return nil, err
+		}
+		rng := sim.NewRNG(o.Seed ^ 0xca12)
+		var events []gating.Event
+		for at := int64(0); at < cfg.TotalCycles; at += period {
+			events = append(events, gating.Event{
+				At:    at,
+				Gated: gating.FractionGated(mesh, 0.3+0.4*rng.Float64(), nil, rng.Fork(uint64(at)+1)),
+			})
+		}
+		sched, err := gating.New(cfg.N(), events)
+		if err != nil {
+			return nil, err
+		}
+		gen := traffic.NewGenerator(traffic.Uniform, mesh, nil)
+		mech := core.NewGFLOV()
+		n, err := network.New(cfg, mech, sched, gen, 0.02)
+		if err != nil {
+			return nil, err
+		}
+		res := n.Run()
+		if res.Undelivered != 0 {
+			return nil, fmt.Errorf("experiments: churn ablation %v=%d left %d flits undelivered", p, v, res.Undelivered)
+		}
+		sleeps, wakes, aborts := mech.SleepStats()
+		rows = append(rows, ChurnAblationRow{
+			Param: p.String(), Value: v,
+			AvgLatency: res.AvgLatency, TotalPowerW: res.TotalPowerW,
+			Sleeps: sleeps, Wakes: wakes, Aborts: aborts,
+		})
+	}
+	return rows, nil
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"testing"
+
+	"flov/internal/traffic"
+)
+
+func TestAblationParamsNamed(t *testing.T) {
+	for p := AblationParam(0); p <= AblTransitionTimeout; p++ {
+		if DefaultAblationValues(p) == nil {
+			t.Errorf("%v has no default sweep", p)
+		}
+	}
+}
+
+// Ablation shape: a larger idle threshold gates routers less aggressively,
+// so static power must not decrease as the threshold grows.
+func TestAblationIdleThresholdShape(t *testing.T) {
+	rows, err := Ablate(AblIdleThreshold, []int{2, 512}, shapeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	if rows[1].StaticW < rows[0].StaticW-1e-9 {
+		t.Errorf("static power dropped with a lazier idle threshold: %.3f -> %.3f",
+			rows[0].StaticW, rows[1].StaticW)
+	}
+}
+
+// Zero wakeup latency must not break the protocol.
+func TestAblationZeroWakeup(t *testing.T) {
+	rows, err := Ablate(AblWakeupLatency, []int{0}, shapeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].AvgLatency <= 0 {
+		t.Fatal("no traffic measured")
+	}
+}
+
+// Saturation: latency grows (weakly) with offered load for the baseline.
+func TestSaturationMonotoneBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation sweep")
+	}
+	rows, err := SaturationSweep(traffic.Uniform, 0.0, shapeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for _, r := range rows {
+		if r.Mechanism != "Baseline" {
+			continue
+		}
+		if r.AvgLatency+15 < prev { // generous slack for noise
+			t.Errorf("latency dropped sharply with load: %.1f after %.1f at rate %.2f",
+				r.AvgLatency, prev, r.Rate)
+		}
+		if r.AvgLatency > prev {
+			prev = r.AvgLatency
+		}
+	}
+	if prev < 30 {
+		t.Errorf("baseline never saturated above zero-load latency: %.1f", prev)
+	}
+}
+
+// Under churn, the transition machinery actually runs: transitions are
+// counted, and a lazier idle threshold produces fewer sleep transitions.
+func TestChurnAblationIdleThreshold(t *testing.T) {
+	rows, err := AblateUnderChurn(AblIdleThreshold, []int{2, 512}, 1500, shapeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Sleeps == 0 || rows[0].Wakes == 0 {
+		t.Fatalf("no transitions under churn: %+v", rows[0])
+	}
+	if rows[1].Sleeps > rows[0].Sleeps {
+		t.Errorf("lazier idle threshold slept more: %d vs %d", rows[1].Sleeps, rows[0].Sleeps)
+	}
+}
+
+// A tighter transition timeout aborts more under churn but must never
+// lose packets (AblateUnderChurn fails on undelivered flits).
+func TestChurnAblationTransitionTimeout(t *testing.T) {
+	rows, err := AblateUnderChurn(AblTransitionTimeout, []int{64, 1024}, 800, shapeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Sleeps == 0 {
+			t.Fatalf("no transitions: %+v", r)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package experiments drives every evaluation experiment of the paper —
+// one function per figure/table — and returns structured rows that
+// cmd/figures renders as CSV/ASCII and bench_test.go reports as metrics.
+//
+// All experiments hold the gated-core set fixed across mechanisms (same
+// seed), so differences are attributable to the mechanism alone.
+package experiments
+
+import (
+	"fmt"
+
+	"flov/internal/config"
+	"flov/internal/core"
+	"flov/internal/gating"
+	"flov/internal/network"
+	"flov/internal/rp"
+	"flov/internal/sim"
+	"flov/internal/stats"
+	"flov/internal/topology"
+	"flov/internal/traffic"
+)
+
+// Options control experiment scale.
+type Options struct {
+	// Quick shrinks cycle counts ~5x for smoke runs and -short tests.
+	Quick bool
+	// Seed for gated-set draws (identical across mechanisms).
+	Seed uint64
+}
+
+// cycles returns (warmup, total) for synthetic runs.
+func (o Options) cycles() (int64, int64) {
+	if o.Quick {
+		return 2_000, 20_000
+	}
+	return 10_000, 100_000
+}
+
+// DefaultFractions is the gated-core sweep of Figs. 6, 7, 8 and 9.
+var DefaultFractions = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}
+
+// DefaultRates are the two injection rates of Figs. 6 and 7.
+var DefaultRates = []float64{0.02, 0.08}
+
+// SweepRow is one point of the Fig. 6/7/8/9 sweeps.
+type SweepRow struct {
+	Pattern   string
+	Rate      float64
+	Frac      float64
+	Mechanism string
+
+	AvgLatency     float64
+	StaticPowerW   float64
+	DynamicPowerW  float64
+	TotalPowerW    float64
+	Breakdown      stats.Breakdown
+	GatedRouters   int
+	Packets        int64
+	Undelivered    int64
+	EscapeFraction float64
+}
+
+// buildAndRun assembles one synthetic configuration and runs it.
+func buildAndRun(pattern traffic.Pattern, rate, frac float64, mech config.Mechanism, o Options) (SweepRow, error) {
+	cfg := config.Default()
+	cfg.WarmupCycles, cfg.TotalCycles = o.cycles()
+	cfg.Seed = o.Seed + 1
+	return runWithConfig(cfg, pattern, rate, frac, mech, o)
+}
+
+// runWithConfig runs one synthetic experiment with an explicit config
+// (ablation sweeps tweak individual knobs).
+func runWithConfig(cfg config.Config, pattern traffic.Pattern, rate, frac float64, mech config.Mechanism, o Options) (SweepRow, error) {
+	mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
+	if err != nil {
+		return SweepRow{}, err
+	}
+	mask := gating.FractionGated(mesh, frac, nil, sim.NewRNG(o.Seed^0x5eed))
+	gen := traffic.NewGenerator(pattern, mesh, nil)
+	m, err := newMech(mech)
+	if err != nil {
+		return SweepRow{}, err
+	}
+	n, err := network.New(cfg, m, gating.Static(mask), gen, rate)
+	if err != nil {
+		return SweepRow{}, err
+	}
+	res := n.Run()
+	return SweepRow{
+		Pattern:        pattern.String(),
+		Rate:           rate,
+		Frac:           frac,
+		Mechanism:      mech.String(),
+		AvgLatency:     res.AvgLatency,
+		StaticPowerW:   res.StaticPowerW,
+		DynamicPowerW:  res.DynamicPowerW,
+		TotalPowerW:    res.TotalPowerW,
+		Breakdown:      res.Breakdown,
+		GatedRouters:   res.GatedRouters,
+		Packets:        res.Packets,
+		Undelivered:    res.Undelivered,
+		EscapeFraction: res.EscapeFrac,
+	}, nil
+}
+
+// newMech instantiates the controller for a mechanism.
+func newMech(m config.Mechanism) (network.Mechanism, error) {
+	switch m {
+	case config.Baseline:
+		return network.NewBaseline(), nil
+	case config.RP:
+		return rp.New(), nil
+	case config.RFLOV:
+		return core.NewRFLOV(), nil
+	case config.GFLOV:
+		return core.NewGFLOV(), nil
+	}
+	return nil, fmt.Errorf("experiments: unknown mechanism %v", m)
+}
+
+// LatencyPowerSweep reproduces Fig. 6 (uniform) or Fig. 7 (tornado): the
+// full rate x fraction x mechanism grid with latency, dynamic and total
+// power.
+func LatencyPowerSweep(pattern traffic.Pattern, o Options) ([]SweepRow, error) {
+	var rows []SweepRow
+	for _, rate := range DefaultRates {
+		for _, frac := range DefaultFractions {
+			for _, m := range config.Mechanisms() {
+				r, err := buildAndRun(pattern, rate, frac, m, o)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, r)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// BreakdownSweep reproduces Fig. 8 (a)/(b): the latency decomposition at
+// 0.02 flits/cycle/node across the gated-core sweep.
+func BreakdownSweep(pattern traffic.Pattern, o Options) ([]SweepRow, error) {
+	var rows []SweepRow
+	for _, frac := range DefaultFractions {
+		for _, m := range config.Mechanisms() {
+			r, err := buildAndRun(pattern, 0.02, frac, m, o)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}
+
+// StaticPowerSweep reproduces Fig. 9: static power vs gated fraction per
+// mechanism. Static power is workload independent for FLOV (the paper's
+// observation), so a light uniform load suffices to settle power states.
+func StaticPowerSweep(o Options) ([]SweepRow, error) {
+	var rows []SweepRow
+	for _, frac := range DefaultFractions {
+		for _, m := range config.Mechanisms() {
+			r, err := buildAndRun(traffic.Uniform, 0.02, frac, m, o)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r)
+		}
+	}
+	return rows, nil
+}

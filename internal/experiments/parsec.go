@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+
+	"flov/internal/config"
+	"flov/internal/network"
+	"flov/internal/trace"
+)
+
+// ParsecRow is one benchmark x mechanism cell of Figs. 8 (c)/(d): static
+// energy and runtime, raw and normalized to Baseline.
+type ParsecRow struct {
+	Benchmark string
+	Mechanism string
+
+	RuntimeCyc int64
+	StaticPJ   float64
+	DynamicPJ  float64
+	TotalPJ    float64
+
+	// Normalized to the same benchmark's Baseline run.
+	NormStatic  float64
+	NormTotal   float64
+	NormRuntime float64
+}
+
+// RunParsecBenchmark runs one benchmark under one mechanism.
+func RunParsecBenchmark(prof trace.Profile, mech config.Mechanism, o Options) (trace.Outcome, error) {
+	if o.Quick {
+		prof.QuotaPerCore /= 4
+		if prof.QuotaPerCore < 10 {
+			prof.QuotaPerCore = 10
+		}
+		if prof.Phases > 2 {
+			prof.Phases = 2
+		}
+	}
+	cfg := config.FullSystem()
+	cfg.WarmupCycles = 0
+	cfg.TotalCycles = 1 << 40
+	cfg.Seed = o.Seed + 1
+	m, err := newMech(mech)
+	if err != nil {
+		return trace.Outcome{}, err
+	}
+	n, err := network.New(cfg, m, nil, nil, 0)
+	if err != nil {
+		return trace.Outcome{}, err
+	}
+	out := trace.NewDriver(n, prof, o.Seed+7).Run(50_000_000)
+	if !out.Completed {
+		return out, fmt.Errorf("experiments: %s/%v did not complete", prof.Name, mech)
+	}
+	return out, nil
+}
+
+// ParsecSweep reproduces Figs. 8 (c)/(d): all nine benchmarks under all
+// four mechanisms, normalized per benchmark to Baseline.
+func ParsecSweep(o Options) ([]ParsecRow, error) {
+	var rows []ParsecRow
+	for _, prof := range trace.Profiles() {
+		base, err := RunParsecBenchmark(prof, config.Baseline, o)
+		if err != nil {
+			return nil, err
+		}
+		for _, mech := range config.Mechanisms() {
+			out := base
+			if mech != config.Baseline {
+				out, err = RunParsecBenchmark(prof, mech, o)
+				if err != nil {
+					return nil, err
+				}
+			}
+			rows = append(rows, ParsecRow{
+				Benchmark:   prof.Name,
+				Mechanism:   mech.String(),
+				RuntimeCyc:  out.RuntimeCyc,
+				StaticPJ:    out.StaticPJ,
+				DynamicPJ:   out.DynamicPJ,
+				TotalPJ:     out.TotalPJ,
+				NormStatic:  out.StaticPJ / base.StaticPJ,
+				NormTotal:   out.TotalPJ / base.TotalPJ,
+				NormRuntime: float64(out.RuntimeCyc) / float64(base.RuntimeCyc),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Headline aggregates the PARSEC sweep into the paper's abstract claims:
+// FLOV (gFLOV) static/total energy reduction versus Baseline and RP, and
+// the runtime degradation versus Baseline, averaged across benchmarks.
+type Headline struct {
+	StaticVsBaselinePct float64 // paper: 43% reduction
+	RuntimeVsBasePct    float64 // paper: ~1% degradation
+	StaticVsRPPct       float64 // paper: 22% reduction
+	TotalVsRPPct        float64 // paper: 18% reduction
+	Benchmarks          int
+}
+
+// Summarize computes the headline numbers from a ParsecSweep row set.
+func Summarize(rows []ParsecRow) Headline {
+	type acc struct{ base, rp, gflov ParsecRow }
+	byBench := map[string]*acc{}
+	for _, r := range rows {
+		a := byBench[r.Benchmark]
+		if a == nil {
+			a = &acc{}
+			byBench[r.Benchmark] = a
+		}
+		switch r.Mechanism {
+		case "Baseline":
+			a.base = r
+		case "RP":
+			a.rp = r
+		case "gFLOV":
+			a.gflov = r
+		}
+	}
+	var h Headline
+	for _, a := range byBench {
+		if a.base.StaticPJ == 0 || a.rp.StaticPJ == 0 || a.gflov.StaticPJ == 0 {
+			continue
+		}
+		h.Benchmarks++
+		h.StaticVsBaselinePct += (1 - a.gflov.StaticPJ/a.base.StaticPJ) * 100
+		h.RuntimeVsBasePct += (float64(a.gflov.RuntimeCyc)/float64(a.base.RuntimeCyc) - 1) * 100
+		h.StaticVsRPPct += (1 - a.gflov.StaticPJ/a.rp.StaticPJ) * 100
+		h.TotalVsRPPct += (1 - a.gflov.TotalPJ/a.rp.TotalPJ) * 100
+	}
+	if h.Benchmarks > 0 {
+		n := float64(h.Benchmarks)
+		h.StaticVsBaselinePct /= n
+		h.RuntimeVsBasePct /= n
+		h.StaticVsRPPct /= n
+		h.TotalVsRPPct /= n
+	}
+	return h
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"flov/internal/config"
+	"flov/internal/gating"
+	"flov/internal/network"
+	"flov/internal/sim"
+	"flov/internal/topology"
+	"flov/internal/traffic"
+)
+
+// TimelineRow is one bin of the Fig. 10 reconfiguration-overhead plot.
+type TimelineRow struct {
+	Mechanism string
+	BinStart  int64
+	AvgLat    float64
+	Packets   int64
+}
+
+// ReconfigTimeline reproduces Fig. 10: uniform random traffic at 0.02
+// flits/cycle/node with 10% of cores power-gated; the gated set changes
+// at cycles 50,000 and 60,000. RP stalls the whole network during each
+// Phase-I reconfiguration (queueing spikes); gFLOV reacts locally and the
+// timeline stays flat.
+func ReconfigTimeline(mechs []config.Mechanism, o Options) ([]TimelineRow, error) {
+	cfg := config.Default()
+	cfg.WarmupCycles = 0
+	cfg.TotalCycles = 100_000
+	cfg.TimelineBinSz = 1_000
+	change1, change2 := int64(50_000), int64(60_000)
+	if o.Quick {
+		cfg.TotalCycles = 30_000
+		cfg.TimelineBinSz = 500
+		change1, change2 = 15_000, 20_000
+	}
+	mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
+	if err != nil {
+		return nil, err
+	}
+	rng := sim.NewRNG(o.Seed ^ 0x716e)
+	mask0 := gating.FractionGated(mesh, 0.10, nil, rng.Fork(1))
+	mask1 := gating.FractionGated(mesh, 0.10, nil, rng.Fork(2))
+	mask2 := gating.FractionGated(mesh, 0.10, nil, rng.Fork(3))
+	sched, err := gating.New(cfg.N(), []gating.Event{
+		{At: 0, Gated: mask0},
+		{At: change1, Gated: mask1},
+		{At: change2, Gated: mask2},
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []TimelineRow
+	for _, mc := range mechs {
+		gen := traffic.NewGenerator(traffic.Uniform, mesh, nil)
+		m, err := newMech(mc)
+		if err != nil {
+			return nil, err
+		}
+		n, err := network.New(cfg, m, sched, gen, 0.02)
+		if err != nil {
+			return nil, err
+		}
+		res := n.Run()
+		for _, b := range res.Timeline {
+			rows = append(rows, TimelineRow{
+				Mechanism: mc.String(),
+				BinStart:  b.Start,
+				AvgLat:    b.AvgLat,
+				Packets:   b.Count,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PeakTimelineLatency returns the worst bin average for one mechanism in
+// a timeline row set (used by tests asserting the RP spike exists and the
+// gFLOV timeline stays flat).
+func PeakTimelineLatency(rows []TimelineRow, mech string, fromBin int64) float64 {
+	peak := 0.0
+	for _, r := range rows {
+		if r.Mechanism == mech && r.BinStart >= fromBin && r.Packets > 0 && r.AvgLat > peak {
+			peak = r.AvgLat
+		}
+	}
+	return peak
+}

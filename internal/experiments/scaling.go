@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"flov/internal/config"
+	"flov/internal/traffic"
+)
+
+// ScalingSizes are the mesh sizes for the scalability study. The paper
+// motivates FLOV for "100s and 1000s of cores" and criticizes NoRD's
+// bypass ring for not scaling; this experiment shows how each mechanism's
+// latency and power behave as the mesh grows.
+var ScalingSizes = [][2]int{{4, 4}, {8, 8}, {12, 12}, {16, 16}}
+
+// ScalingRow is one mesh-size x mechanism measurement.
+type ScalingRow struct {
+	Width, Height int
+	Mechanism     string
+	AvgLatency    float64
+	StaticPowerW  float64
+	TotalPowerW   float64
+	GatedRouters  int
+	Routers       int
+	Undelivered   int64
+}
+
+// ScalingSweep runs uniform random traffic at 0.02 flits/cycle/node with
+// half the cores gated across growing mesh sizes.
+func ScalingSweep(o Options) ([]ScalingRow, error) {
+	var rows []ScalingRow
+	for _, sz := range ScalingSizes {
+		for _, m := range config.Mechanisms() {
+			cfg := config.Default()
+			cfg.Width, cfg.Height = sz[0], sz[1]
+			cfg.WarmupCycles, cfg.TotalCycles = o.cycles()
+			cfg.Seed = o.Seed + 1
+			r, err := runWithConfig(cfg, traffic.Uniform, 0.02, 0.5, m, o)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ScalingRow{
+				Width: sz[0], Height: sz[1],
+				Mechanism:    m.String(),
+				AvgLatency:   r.AvgLatency,
+				StaticPowerW: r.StaticPowerW,
+				TotalPowerW:  r.TotalPowerW,
+				GatedRouters: r.GatedRouters,
+				Routers:      sz[0] * sz[1],
+				Undelivered:  r.Undelivered,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"testing"
+
+	"flov/internal/config"
+	"flov/internal/trace"
+	"flov/internal/traffic"
+)
+
+// The tests in this file assert the qualitative shapes the paper reports
+// — who wins, and roughly where — on reduced-scale runs.
+
+var shapeOpts = Options{Quick: true, Seed: 42}
+
+func row(t *testing.T, p traffic.Pattern, rate, frac float64, m config.Mechanism) SweepRow {
+	t.Helper()
+	r, err := buildAndRun(p, rate, frac, m, shapeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Undelivered != 0 {
+		t.Fatalf("%s: %d undelivered flits", r.Mechanism, r.Undelivered)
+	}
+	return r
+}
+
+// Paper Fig. 6(a): FLOV latency beats RP at moderate gated fractions.
+func TestShapeFLOVLatencyBeatsRP(t *testing.T) {
+	for _, frac := range []float64{0.3, 0.5} {
+		rp := row(t, traffic.Uniform, 0.02, frac, config.RP)
+		gf := row(t, traffic.Uniform, 0.02, frac, config.GFLOV)
+		rf := row(t, traffic.Uniform, 0.02, frac, config.RFLOV)
+		if gf.AvgLatency >= rp.AvgLatency {
+			t.Errorf("frac %.1f: gFLOV latency %.1f >= RP %.1f", frac, gf.AvgLatency, rp.AvgLatency)
+		}
+		if rf.AvgLatency >= rp.AvgLatency {
+			t.Errorf("frac %.1f: rFLOV latency %.1f >= RP %.1f", frac, rf.AvgLatency, rp.AvgLatency)
+		}
+	}
+}
+
+// Paper Fig. 9: gFLOV static power is lowest; the gap to RP widens with
+// the gated fraction; rFLOV saturates above RP at high fractions.
+func TestShapeStaticPowerOrdering(t *testing.T) {
+	base := row(t, traffic.Uniform, 0.02, 0.6, config.Baseline)
+	rp := row(t, traffic.Uniform, 0.02, 0.6, config.RP)
+	gf := row(t, traffic.Uniform, 0.02, 0.6, config.GFLOV)
+	rf := row(t, traffic.Uniform, 0.02, 0.6, config.RFLOV)
+	if !(gf.StaticPowerW < rp.StaticPowerW && rp.StaticPowerW < base.StaticPowerW) {
+		t.Errorf("static ordering violated: gFLOV %.3f RP %.3f base %.3f",
+			gf.StaticPowerW, rp.StaticPowerW, base.StaticPowerW)
+	}
+	if rf.StaticPowerW <= rp.StaticPowerW {
+		t.Errorf("rFLOV (%.3f) should saturate above RP (%.3f) at 60%% gated",
+			rf.StaticPowerW, rp.StaticPowerW)
+	}
+}
+
+// Paper Fig. 7: under Tornado, FLOV beats even the Baseline because
+// same-row traffic rides 1-cycle FLOV latches instead of 3-cycle routers.
+func TestShapeTornadoFLOVBeatsBaseline(t *testing.T) {
+	base := row(t, traffic.Tornado, 0.02, 0.5, config.Baseline)
+	gf := row(t, traffic.Tornado, 0.02, 0.5, config.GFLOV)
+	if gf.AvgLatency >= base.AvgLatency {
+		t.Errorf("tornado: gFLOV %.1f >= baseline %.1f", gf.AvgLatency, base.AvgLatency)
+	}
+	if gf.Breakdown.FLOV == 0 {
+		t.Error("tornado at 50% gating should traverse FLOV links")
+	}
+}
+
+// Paper Fig. 8: gFLOV accumulates FLOV latency as gating grows while its
+// router latency drops relative to rFLOV.
+func TestShapeBreakdownFLOVGrows(t *testing.T) {
+	lo := row(t, traffic.Uniform, 0.02, 0.2, config.GFLOV)
+	hi := row(t, traffic.Uniform, 0.02, 0.7, config.GFLOV)
+	if hi.Breakdown.FLOV <= lo.Breakdown.FLOV {
+		t.Errorf("FLOV latency should grow with gating: %.2f -> %.2f",
+			lo.Breakdown.FLOV, hi.Breakdown.FLOV)
+	}
+	rf := row(t, traffic.Uniform, 0.02, 0.7, config.RFLOV)
+	if rf.Breakdown.Router <= hi.Breakdown.Router {
+		t.Errorf("rFLOV router latency (%.1f) should exceed gFLOV (%.1f) at 70%% (fewer FLOV hops)",
+			rf.Breakdown.Router, hi.Breakdown.Router)
+	}
+}
+
+// Paper Fig. 6(b): RP burns more dynamic power than FLOV (detours pay the
+// full router pipeline at every hop).
+func TestShapeRPDynamicPowerHigher(t *testing.T) {
+	rp := row(t, traffic.Uniform, 0.08, 0.5, config.RP)
+	gf := row(t, traffic.Uniform, 0.08, 0.5, config.GFLOV)
+	if gf.DynamicPowerW >= rp.DynamicPowerW {
+		t.Errorf("dynamic power: gFLOV %.3f >= RP %.3f", gf.DynamicPowerW, rp.DynamicPowerW)
+	}
+}
+
+// Paper Fig. 10: RP's reconfiguration stalls produce latency spikes that
+// gFLOV does not have.
+func TestShapeReconfigSpike(t *testing.T) {
+	rows, err := ReconfigTimeline([]config.Mechanism{config.RP, config.GFLOV}, shapeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rpPeak := PeakTimelineLatency(rows, "RP", 1000)
+	gfPeak := PeakTimelineLatency(rows, "gFLOV", 1000)
+	if rpPeak < 3*gfPeak {
+		t.Errorf("RP peak %.1f not spiking vs gFLOV peak %.1f", rpPeak, gfPeak)
+	}
+}
+
+// Full-system headline: every reduction must point the paper's way.
+func TestShapeParsecHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-benchmark full-system sweep")
+	}
+	prof := mustProfile(t, "bodytrack")
+	prof.QuotaPerCore = 40
+	prof.Phases = 2
+	base, err := RunParsecBenchmark(prof, config.Baseline, shapeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := RunParsecBenchmark(prof, config.RP, shapeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gf, err := RunParsecBenchmark(prof, config.GFLOV, shapeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gf.StaticPJ >= base.StaticPJ || gf.StaticPJ >= rp.StaticPJ {
+		t.Errorf("gFLOV static %.0f vs base %.0f, RP %.0f", gf.StaticPJ, base.StaticPJ, rp.StaticPJ)
+	}
+	if gf.TotalPJ >= rp.TotalPJ {
+		t.Errorf("gFLOV total %.0f >= RP %.0f", gf.TotalPJ, rp.TotalPJ)
+	}
+	if float64(gf.RuntimeCyc) > 1.15*float64(base.RuntimeCyc) {
+		t.Errorf("gFLOV runtime %.2fx baseline", float64(gf.RuntimeCyc)/float64(base.RuntimeCyc))
+	}
+}
+
+func mustProfile(t *testing.T, name string) trace.Profile {
+	t.Helper()
+	p, ok := trace.ProfileByName(name)
+	if !ok {
+		t.Fatalf("unknown profile %q", name)
+	}
+	return p
+}
+
+// Scaling: RP's latency penalty must grow with mesh size while gFLOV's
+// stays bounded — the distributed-vs-centralized scaling argument.
+func TestShapeScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-size sweep")
+	}
+	rows, err := ScalingSweep(shapeOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := func(w int, mech string) float64 {
+		var base, m float64
+		for _, r := range rows {
+			if r.Width != w {
+				continue
+			}
+			if r.Mechanism == "Baseline" {
+				base = r.AvgLatency
+			}
+			if r.Mechanism == mech {
+				m = r.AvgLatency
+			}
+		}
+		return m / base
+	}
+	if ratio(16, "RP") <= ratio(4, "RP") {
+		t.Errorf("RP penalty should grow with size: 4x4 %.2fx vs 16x16 %.2fx",
+			ratio(4, "RP"), ratio(16, "RP"))
+	}
+	if ratio(16, "gFLOV") >= ratio(16, "RP") {
+		t.Errorf("gFLOV (%.2fx) should scale better than RP (%.2fx) at 16x16",
+			ratio(16, "gFLOV"), ratio(16, "RP"))
+	}
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	rows := []ParsecRow{
+		{Benchmark: "a", Mechanism: "Baseline", StaticPJ: 100, TotalPJ: 120, RuntimeCyc: 1000},
+		{Benchmark: "a", Mechanism: "RP", StaticPJ: 80, TotalPJ: 110, RuntimeCyc: 1100},
+		{Benchmark: "a", Mechanism: "gFLOV", StaticPJ: 60, TotalPJ: 77, RuntimeCyc: 1010},
+		{Benchmark: "b", Mechanism: "Baseline", StaticPJ: 200, TotalPJ: 240, RuntimeCyc: 2000},
+		{Benchmark: "b", Mechanism: "RP", StaticPJ: 150, TotalPJ: 220, RuntimeCyc: 2300},
+		{Benchmark: "b", Mechanism: "gFLOV", StaticPJ: 100, TotalPJ: 132, RuntimeCyc: 2040},
+	}
+	h := Summarize(rows)
+	if h.Benchmarks != 2 {
+		t.Fatalf("benchmarks = %d", h.Benchmarks)
+	}
+	// a: static vs base 40%, b: 50% -> mean 45.
+	if math.Abs(h.StaticVsBaselinePct-45) > 1e-9 {
+		t.Fatalf("static vs baseline = %v", h.StaticVsBaselinePct)
+	}
+	// a: runtime +1%, b: +2% -> mean 1.5.
+	if math.Abs(h.RuntimeVsBasePct-1.5) > 1e-9 {
+		t.Fatalf("runtime = %v", h.RuntimeVsBasePct)
+	}
+	// a: static vs RP 25%, b: 33.33% -> mean ~29.17.
+	if math.Abs(h.StaticVsRPPct-(25+100.0/3)/2) > 1e-6 {
+		t.Fatalf("static vs RP = %v", h.StaticVsRPPct)
+	}
+	// a: total vs RP 30%, b: 40% -> mean 35.
+	if math.Abs(h.TotalVsRPPct-35) > 1e-9 {
+		t.Fatalf("total vs RP = %v", h.TotalVsRPPct)
+	}
+}
+
+func TestSummarizeIgnoresIncomplete(t *testing.T) {
+	rows := []ParsecRow{
+		{Benchmark: "x", Mechanism: "Baseline", StaticPJ: 100, TotalPJ: 120, RuntimeCyc: 1000},
+		// no RP / gFLOV rows for "x"
+	}
+	h := Summarize(rows)
+	if h.Benchmarks != 0 {
+		t.Fatalf("incomplete benchmark counted: %+v", h)
+	}
+}

@@ -1,0 +1,122 @@
+// Package gating produces core power-gating schedules: which cores the
+// (simulated) OS has put to sleep at any given cycle. FLOV routers react
+// to these locally; Router Parking's fabric manager reconfigures the
+// network on every change.
+package gating
+
+import (
+	"fmt"
+
+	"flov/internal/sim"
+	"flov/internal/topology"
+)
+
+// Event switches the gated-core set at a given cycle.
+type Event struct {
+	At    int64  // cycle the new mask takes effect
+	Gated []bool // per-node: true when the core is power-gated
+}
+
+// Schedule is a time-ordered sequence of gating events. The first event
+// must be at cycle 0. The zero value is unusable; use New or Static.
+type Schedule struct {
+	n      int
+	events []Event
+}
+
+// New builds a schedule from events; events must be sorted by At with the
+// first at cycle 0, and every mask must have n entries.
+func New(n int, events []Event) (*Schedule, error) {
+	if len(events) == 0 || events[0].At != 0 {
+		return nil, fmt.Errorf("gating: schedule must start with an event at cycle 0")
+	}
+	prev := int64(-1)
+	for _, e := range events {
+		if e.At <= prev {
+			return nil, fmt.Errorf("gating: events must be strictly ordered, got %d after %d", e.At, prev)
+		}
+		if len(e.Gated) != n {
+			return nil, fmt.Errorf("gating: mask has %d entries, want %d", len(e.Gated), n)
+		}
+		prev = e.At
+	}
+	return &Schedule{n: n, events: events}, nil
+}
+
+// Static builds a schedule with a single, constant gated set.
+func Static(gated []bool) *Schedule {
+	cp := append([]bool(nil), gated...)
+	return &Schedule{n: len(cp), events: []Event{{At: 0, Gated: cp}}}
+}
+
+// N returns the number of nodes covered.
+func (s *Schedule) N() int { return s.n }
+
+// Events returns the underlying event list (do not mutate).
+func (s *Schedule) Events() []Event { return s.events }
+
+// MaskAt returns the gated mask in effect at cycle now.
+func (s *Schedule) MaskAt(now int64) []bool {
+	cur := s.events[0].Gated
+	for _, e := range s.events[1:] {
+		if e.At > now {
+			break
+		}
+		cur = e.Gated
+	}
+	return cur
+}
+
+// NextChange returns the cycle of the first event strictly after now, or
+// -1 if none remain.
+func (s *Schedule) NextChange(now int64) int64 {
+	for _, e := range s.events {
+		if e.At > now {
+			return e.At
+		}
+	}
+	return -1
+}
+
+// RandomGated returns a mask gating `count` cores chosen uniformly at
+// random, never gating nodes in protect (e.g. memory-controller corners).
+func RandomGated(m topology.Mesh, count int, protect []int, rng *sim.RNG) []bool {
+	n := m.N()
+	prot := make([]bool, n)
+	for _, p := range protect {
+		prot[p] = true
+	}
+	var eligible []int
+	for i := 0; i < n; i++ {
+		if !prot[i] {
+			eligible = append(eligible, i)
+		}
+	}
+	if count > len(eligible) {
+		count = len(eligible)
+	}
+	mask := make([]bool, n)
+	perm := rng.Perm(len(eligible))
+	for i := 0; i < count; i++ {
+		mask[eligible[perm[i]]] = true
+	}
+	return mask
+}
+
+// FractionGated returns a mask gating ⌊frac*eligible⌋ cores.
+func FractionGated(m topology.Mesh, frac float64, protect []int, rng *sim.RNG) []bool {
+	eligible := m.N() - len(protect)
+	count := int(frac * float64(eligible))
+	return RandomGated(m, count, protect, rng)
+}
+
+// CountGated returns the number of gated cores in a mask.
+func CountGated(mask []bool) int {
+	n := 0
+	for _, g := range mask {
+		if g {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,128 @@
+package gating
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flov/internal/sim"
+	"flov/internal/topology"
+)
+
+func mesh8(t testing.TB) topology.Mesh {
+	t.Helper()
+	m, err := topology.NewMesh(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestStaticSchedule(t *testing.T) {
+	mask := make([]bool, 4)
+	mask[2] = true
+	s := Static(mask)
+	if s.N() != 4 {
+		t.Fatalf("N = %d", s.N())
+	}
+	got := s.MaskAt(12345)
+	if !got[2] || got[0] {
+		t.Fatal("MaskAt wrong")
+	}
+	if s.NextChange(0) != -1 {
+		t.Fatal("static schedule has no changes")
+	}
+	// Static copies the mask.
+	mask[0] = true
+	if s.MaskAt(0)[0] {
+		t.Fatal("Static did not copy the mask")
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	n := 4
+	ok := []Event{{At: 0, Gated: make([]bool, n)}, {At: 10, Gated: make([]bool, n)}}
+	if _, err := New(n, ok); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	bad := [][]Event{
+		{},
+		{{At: 5, Gated: make([]bool, n)}}, // must start at 0
+		{{At: 0, Gated: make([]bool, n)}, {At: 0, Gated: make([]bool, n)}}, // strictly ordered
+		{{At: 0, Gated: make([]bool, 3)}},                                  // wrong width
+	}
+	for i, evs := range bad {
+		if _, err := New(n, evs); err == nil {
+			t.Errorf("bad schedule %d accepted", i)
+		}
+	}
+}
+
+func TestMaskAtAndNextChange(t *testing.T) {
+	n := 2
+	m0 := []bool{false, false}
+	m1 := []bool{true, false}
+	m2 := []bool{false, true}
+	s, err := New(n, []Event{{At: 0, Gated: m0}, {At: 100, Gated: m1}, {At: 200, Gated: m2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaskAt(99)[0] || s.MaskAt(100)[0] != true || s.MaskAt(250)[1] != true {
+		t.Fatal("MaskAt selects wrong event")
+	}
+	if s.NextChange(0) != 100 || s.NextChange(100) != 200 || s.NextChange(200) != -1 {
+		t.Fatal("NextChange wrong")
+	}
+}
+
+func TestRandomGatedCountAndProtect(t *testing.T) {
+	m := mesh8(t)
+	protect := []int{0, 7, 56, 63}
+	mask := RandomGated(m, 20, protect, sim.NewRNG(5))
+	if CountGated(mask) != 20 {
+		t.Fatalf("gated %d, want 20", CountGated(mask))
+	}
+	for _, p := range protect {
+		if mask[p] {
+			t.Fatalf("protected node %d gated", p)
+		}
+	}
+}
+
+func TestRandomGatedClampsToEligible(t *testing.T) {
+	m := mesh8(t)
+	mask := RandomGated(m, 1000, []int{0}, sim.NewRNG(5))
+	if CountGated(mask) != 63 {
+		t.Fatalf("gated %d, want 63", CountGated(mask))
+	}
+}
+
+func TestFractionGated(t *testing.T) {
+	m := mesh8(t)
+	mask := FractionGated(m, 0.5, nil, sim.NewRNG(7))
+	if CountGated(mask) != 32 {
+		t.Fatalf("gated %d, want 32", CountGated(mask))
+	}
+}
+
+// Property: RandomGated is deterministic in its seed and never gates
+// protected nodes.
+func TestRandomGatedProperty(t *testing.T) {
+	m := mesh8(t)
+	err := quick.Check(func(seed uint32, countRaw uint8) bool {
+		count := int(countRaw) % 60
+		a := RandomGated(m, count, []int{1, 2}, sim.NewRNG(uint64(seed)))
+		b := RandomGated(m, count, []int{1, 2}, sim.NewRNG(uint64(seed)))
+		if a[1] || a[2] || CountGated(a) != count {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package network
+
+import (
+	"testing"
+
+	"flov/internal/config"
+	"flov/internal/topology"
+	"flov/internal/traffic"
+)
+
+// runBaseline builds and runs a baseline network with the given knobs.
+func runBaseline(t *testing.T, pattern traffic.Pattern, rate float64, total int64) Results {
+	t.Helper()
+	cfg := config.Default()
+	cfg.TotalCycles = total
+	cfg.WarmupCycles = total / 10
+	mesh := mustMesh(t, cfg)
+	gen := traffic.NewGenerator(pattern, mesh, nil)
+	n, err := New(cfg, NewBaseline(), nil, gen, rate)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return n.Run()
+}
+
+func mustMesh(t *testing.T, cfg config.Config) topology.Mesh {
+	t.Helper()
+	mm, err := topology.NewMesh(cfg.Width, cfg.Height)
+	if err != nil {
+		t.Fatalf("mesh: %v", err)
+	}
+	return mm
+}
+
+func TestBaselineUniformDelivers(t *testing.T) {
+	res := runBaseline(t, traffic.Uniform, 0.05, 20000)
+	if res.Packets == 0 {
+		t.Fatal("no packets delivered")
+	}
+	if res.Undelivered != 0 {
+		t.Fatalf("undelivered flits: %d", res.Undelivered)
+	}
+	// 8x8 mesh, avg ~5.33 hops, 3-cycle routers: zero-load ~27 cycles.
+	if res.AvgLatency < 10 || res.AvgLatency > 200 {
+		t.Fatalf("implausible avg latency %.1f", res.AvgLatency)
+	}
+	if res.EscapeFrac > 0.01 {
+		t.Fatalf("baseline YX should not use escape VCs, got %.3f", res.EscapeFrac)
+	}
+	t.Logf("%s", res)
+}
+
+func TestBaselineTornadoDelivers(t *testing.T) {
+	res := runBaseline(t, traffic.Tornado, 0.05, 20000)
+	if res.Packets == 0 || res.Undelivered != 0 {
+		t.Fatalf("packets=%d undelivered=%d", res.Packets, res.Undelivered)
+	}
+	t.Logf("%s", res)
+}

@@ -1,0 +1,321 @@
+// Package network assembles a complete simulated NoC: routers, links,
+// network interfaces, a traffic source, a core-gating schedule, a power
+// ledger and one of the four power-gating mechanisms. It owns the main
+// cycle loop and produces the Results every figure is built from.
+package network
+
+import (
+	"fmt"
+
+	"flov/internal/config"
+	"flov/internal/gating"
+	"flov/internal/nlog"
+	"flov/internal/noc"
+	"flov/internal/power"
+	"flov/internal/router"
+	"flov/internal/sim"
+	"flov/internal/stats"
+	"flov/internal/topology"
+	"flov/internal/traffic"
+)
+
+// Mechanism is a power-gating scheme plugged into a Network. Baseline
+// lives in this package; FLOV in internal/core; Router Parking in
+// internal/rp.
+type Mechanism interface {
+	// Name returns the mechanism name for reports.
+	Name() string
+	// Attach wires the mechanism into a freshly built network (install
+	// router hooks, initialize power state). Called exactly once.
+	Attach(n *Network)
+	// OnGatingChange delivers a new core-gating mask (from the schedule).
+	OnGatingChange(now int64, gated []bool)
+	// TickRouters advances all routers one cycle, including whatever
+	// datapath a power-gated router still runs (FLOV latches).
+	TickRouters(now int64)
+	// CanInject reports whether node id may inject flits this cycle
+	// (Router Parking stalls injection during reconfiguration).
+	CanInject(node int) bool
+	// RouterPowerCounts returns how many routers currently burn full
+	// static power and how many are power-gated (residual leakage).
+	RouterPowerCounts() (on, gated int)
+	// RouterOn reports whether router id's pipeline is powered on.
+	RouterOn(id int) bool
+	// FLOVCapable selects the FLOV leakage model (HSC/latch overheads).
+	FLOVCapable() bool
+	// Quiescent reports whether the mechanism has in-flight protocol
+	// work (handshakes, reconfigurations) that should block drain
+	// detection at the end of a run.
+	Quiescent() bool
+}
+
+// Network is one fully wired simulated NoC.
+type Network struct {
+	Cfg     config.Config
+	Mesh    topology.Mesh
+	Routers []*router.Router
+	NIs     []*NI
+	Mech    Mechanism
+	Ledger  *power.Ledger
+	Stats   *stats.Collector
+
+	// Trace, when enabled, records simulator events into a bounded ring
+	// (power transitions, gating changes, reconfigurations, deliveries).
+	Trace *nlog.Log
+
+	Schedule *gating.Schedule
+	Gen      *traffic.Generator // nil for closed-loop (trace) runs
+	InjRate  float64            // offered load, flits/cycle/node
+
+	// InjectHook, when set, replaces synthetic generation (closed-loop
+	// drivers enqueue packets themselves each cycle).
+	InjectHook func(now int64)
+
+	rng       *sim.RNG
+	injectors []*traffic.Injector
+	gatedMask []bool
+	schedIdx  int
+	nextPkt   uint64
+	now       int64
+	genStop   int64 // cycle after which synthetic generation stops
+
+	// ejectedAtWarmup snapshots the flit counter at the measurement-
+	// window start so throughput excludes warmup traffic.
+	ejectedAtWarmup int64
+}
+
+// New builds a network for cfg with the given mechanism, schedule and
+// (optional) synthetic traffic generator. The mechanism is attached and
+// the initial gating mask applied before New returns.
+func New(cfg config.Config, mech Mechanism, sched *gating.Schedule, gen *traffic.Generator, injRate float64) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
+	if err != nil {
+		return nil, err
+	}
+	if sched != nil && sched.N() != cfg.N() {
+		return nil, fmt.Errorf("network: schedule covers %d nodes, config has %d", sched.N(), cfg.N())
+	}
+	model := power.NewModel(cfg)
+	ledger := power.NewLedger(model)
+	st := stats.NewCollector(cfg.WarmupCycles, cfg.TimelineBinSz, cfg.RouterStages, cfg.FLOVHopLatency)
+
+	n := &Network{
+		Cfg:      cfg,
+		Mesh:     mesh,
+		Mech:     mech,
+		Ledger:   ledger,
+		Stats:    st,
+		Schedule: sched,
+		Gen:      gen,
+		InjRate:  injRate,
+		rng:      sim.NewRNG(cfg.Seed),
+		genStop:  cfg.TotalCycles,
+		nextPkt:  1,
+	}
+
+	// Routers and NIs.
+	n.Routers = make([]*router.Router, cfg.N())
+	n.NIs = make([]*NI, cfg.N())
+	for id := 0; id < cfg.N(); id++ {
+		n.Routers[id] = router.New(id, cfg, mesh, ledger)
+		n.NIs[id] = newNI(id, cfg, st)
+	}
+
+	// Inter-router channels: for each directed adjacency, one flit queue
+	// (latency LinkLatency) and one control queue (latency 1) flowing the
+	// opposite way.
+	for id := 0; id < cfg.N(); id++ {
+		for d := topology.Direction(0); d < topology.NumLinkDirs; d++ {
+			nb := mesh.Neighbor(id, d)
+			if nb < 0 {
+				continue
+			}
+			flitQ := sim.NewDelay[*noc.Flit](cfg.LinkLatency)
+			ctrlQ := sim.NewDelay[router.Signal](1)
+			n.Routers[id].Ports[d].OutFlit = flitQ
+			n.Routers[id].Ports[d].InCtrl = ctrlQ
+			opp := d.Opposite()
+			n.Routers[nb].Ports[opp].InFlit = flitQ
+			n.Routers[nb].Ports[opp].OutCtrl = ctrlQ
+		}
+	}
+
+	// NI <-> router local channels.
+	for id := 0; id < cfg.N(); id++ {
+		inj := sim.NewDelay[*noc.Flit](1)
+		ej := sim.NewDelay[*noc.Flit](1)
+		credUp := sim.NewDelay[router.Signal](1)   // router -> NI
+		credDown := sim.NewDelay[router.Signal](1) // NI -> router
+		r := n.Routers[id]
+		r.Ports[topology.Local].InFlit = inj
+		r.Ports[topology.Local].OutFlit = ej
+		r.Ports[topology.Local].OutCtrl = credUp
+		r.Ports[topology.Local].InCtrl = credDown
+		n.NIs[id].Connect(inj, ej, credUp, credDown)
+		node := id
+		n.NIs[id].CanInject = func() bool { return n.Mech.CanInject(node) }
+	}
+
+	// Per-node injection processes.
+	if gen != nil {
+		n.injectors = make([]*traffic.Injector, cfg.N())
+		for id := 0; id < cfg.N(); id++ {
+			n.injectors[id] = traffic.NewInjector(injRate, cfg.PacketSize, n.rng.Fork(uint64(id)+1))
+		}
+	}
+
+	// Initial gating mask.
+	if sched != nil {
+		n.gatedMask = append([]bool(nil), sched.MaskAt(0)...)
+	} else {
+		n.gatedMask = make([]bool, cfg.N())
+	}
+	if gen != nil {
+		gen.SetActive(activeFrom(n.gatedMask))
+	}
+
+	mech.Attach(n)
+	mech.OnGatingChange(0, n.gatedMask)
+	return n, nil
+}
+
+// countGated counts set entries in a gating mask.
+func countGated(mask []bool) int {
+	n := 0
+	for _, g := range mask {
+		if g {
+			n++
+		}
+	}
+	return n
+}
+
+// EnableTrace attaches an event log to the network and its NIs. Call
+// before running; mechanisms pick it up lazily.
+func (n *Network) EnableTrace(l *nlog.Log) {
+	n.Trace = l
+	for _, ni := range n.NIs {
+		ni.Trace = l
+	}
+}
+
+// activeFrom inverts a gated mask.
+func activeFrom(gated []bool) []bool {
+	act := make([]bool, len(gated))
+	for i, g := range gated {
+		act[i] = !g
+	}
+	return act
+}
+
+// Now returns the current cycle.
+func (n *Network) Now() int64 { return n.now }
+
+// GatedMask returns the current core-gating mask (do not mutate).
+func (n *Network) GatedMask() []bool { return n.gatedMask }
+
+// CoreGated reports whether node id's core is currently power-gated.
+func (n *Network) CoreGated(id int) bool { return n.gatedMask[id] }
+
+// NewPacket allocates a packet with a fresh id, stamped CreatedAt now.
+func (n *Network) NewPacket(src, dst, vnet, size int) *noc.Packet {
+	p := &noc.Packet{
+		ID:        n.nextPkt,
+		Src:       src,
+		Dst:       dst,
+		VNet:      vnet,
+		Size:      size,
+		CreatedAt: n.now,
+	}
+	n.nextPkt++
+	return p
+}
+
+// Step advances the whole network one cycle.
+func (n *Network) Step() {
+	now := n.now
+
+	// 1. Core-gating schedule transitions.
+	if n.Schedule != nil {
+		evs := n.Schedule.Events()
+		for n.schedIdx+1 < len(evs) && evs[n.schedIdx+1].At <= now {
+			n.schedIdx++
+			n.gatedMask = append(n.gatedMask[:0], evs[n.schedIdx].Gated...)
+			if n.Gen != nil {
+				n.Gen.SetActive(activeFrom(n.gatedMask))
+			}
+			if n.Trace != nil {
+				n.Trace.Addf(now, nlog.KGating, -1, "mask changed: %d cores gated", countGated(n.gatedMask))
+			}
+			n.Mech.OnGatingChange(now, n.gatedMask)
+		}
+	}
+
+	// 2. Traffic generation.
+	if n.Gen != nil && now < n.genStop {
+		for id := 0; id < n.Cfg.N(); id++ {
+			if n.gatedMask[id] || !n.injectors[id].ShouldInject() {
+				continue
+			}
+			dst := n.Gen.Dest(id, n.rng)
+			if dst < 0 {
+				continue
+			}
+			n.NIs[id].Enqueue(n.NewPacket(id, dst, 0, n.Cfg.PacketSize))
+		}
+	}
+	if n.InjectHook != nil {
+		n.InjectHook(now)
+	}
+
+	// 3. Routers (mechanism-specific: gated routers run latch datapaths).
+	n.Mech.TickRouters(now)
+
+	// 4. Network interfaces.
+	for _, ni := range n.NIs {
+		ni.Tick(now)
+	}
+
+	// 5. Leakage integration.
+	on, gated := n.Mech.RouterPowerCounts()
+	n.Ledger.TickStatic(on, gated, n.Mech.FLOVCapable())
+
+	n.now++
+}
+
+// Tick implements sim.Component: one network cycle per kernel tick, so a
+// Network can be stepped by a sim.Kernel alongside other components
+// (co-simulation with additional models). The network keeps its own cycle
+// counter; the kernel's `now` is ignored.
+func (n *Network) Tick(int64) { n.Step() }
+
+// StopGeneration ends synthetic traffic generation at the given cycle.
+func (n *Network) StopGeneration(at int64) { n.genStop = at }
+
+// SetGatingMask applies a new core-gating mask immediately (closed-loop
+// drivers re-shape the active set at phase boundaries instead of using a
+// pre-built schedule).
+func (n *Network) SetGatingMask(mask []bool) {
+	n.gatedMask = append(n.gatedMask[:0], mask...)
+	if n.Gen != nil {
+		n.Gen.SetActive(activeFrom(n.gatedMask))
+	}
+	n.Mech.OnGatingChange(n.now, n.gatedMask)
+}
+
+// Drained reports whether no packets remain anywhere: source queues,
+// router buffers, links, or mechanism protocol state.
+func (n *Network) Drained() bool {
+	if n.Stats.InFlightFlits() != 0 {
+		return false
+	}
+	for _, ni := range n.NIs {
+		if ni.Busy() {
+			return false
+		}
+	}
+	return n.Mech.Quiescent()
+}

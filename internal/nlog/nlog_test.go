@@ -1,0 +1,103 @@
+package nlog
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLogBasics(t *testing.T) {
+	l := New(10)
+	l.Add(1, KTransition, 5, "Active->Draining")
+	l.Add(2, KMsg, 6, "DrainReq from 5")
+	evs := l.Events()
+	if len(evs) != 2 || evs[0].Cycle != 1 || evs[1].Router != 6 {
+		t.Fatalf("events: %v", evs)
+	}
+	if l.Total() != 2 {
+		t.Fatalf("total = %d", l.Total())
+	}
+}
+
+func TestLogRingEviction(t *testing.T) {
+	l := New(3)
+	for i := int64(0); i < 10; i++ {
+		l.Add(i, KCredit, int(i), "x")
+	}
+	evs := l.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d", len(evs))
+	}
+	if evs[0].Cycle != 7 || evs[2].Cycle != 9 {
+		t.Fatalf("wrong window: %v", evs)
+	}
+	if l.Total() != 10 {
+		t.Fatalf("total = %d", l.Total())
+	}
+}
+
+func TestLogOnlyFilter(t *testing.T) {
+	l := New(10).Only(KTransition)
+	l.Add(1, KTransition, 0, "a")
+	l.Add(2, KCredit, 0, "b")
+	l.Add(3, KMsg, 0, "c")
+	if len(l.Events()) != 1 {
+		t.Fatalf("filter failed: %v", l.Events())
+	}
+}
+
+func TestLogTail(t *testing.T) {
+	l := New(10)
+	for i := int64(0); i < 5; i++ {
+		l.Add(i, KPacket, 0, "p")
+	}
+	tail := l.Tail(2)
+	if len(tail) != 2 || tail[0].Cycle != 3 {
+		t.Fatalf("tail: %v", tail)
+	}
+}
+
+func TestLogFilterRouter(t *testing.T) {
+	l := New(10)
+	l.Add(1, KTransition, 3, "a")
+	l.Add(2, KTransition, 4, "b")
+	l.Add(3, KMsg, 3, "c")
+	got := l.FilterRouter(3)
+	if len(got) != 2 {
+		t.Fatalf("router filter: %v", got)
+	}
+}
+
+func TestLogWriteTo(t *testing.T) {
+	l := New(4)
+	l.Add(12, KReconfig, -1, "phase I start")
+	l.Addf(13, KGating, -1, "mask changed: %d gated", 7)
+	var b strings.Builder
+	if _, err := l.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "phase I start") || !strings.Contains(out, "mask changed: 7 gated") {
+		t.Fatalf("output:\n%s", out)
+	}
+	if !strings.Contains(out, "reconfig") {
+		t.Fatal("kind name missing")
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "?" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+}
+
+func TestTinyCapacity(t *testing.T) {
+	l := New(0) // clamps to 1
+	l.Add(1, KMsg, 0, "a")
+	l.Add(2, KMsg, 0, "b")
+	evs := l.Events()
+	if len(evs) != 1 || evs[0].Cycle != 2 {
+		t.Fatalf("tiny ring: %v", evs)
+	}
+}

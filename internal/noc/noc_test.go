@@ -1,0 +1,202 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flov/internal/topology"
+)
+
+func TestFlitTypes(t *testing.T) {
+	if !Head.IsHead() || !HeadTail.IsHead() || Body.IsHead() || Tail.IsHead() {
+		t.Fatal("IsHead wrong")
+	}
+	if !Tail.IsTail() || !HeadTail.IsTail() || Body.IsTail() || Head.IsTail() {
+		t.Fatal("IsTail wrong")
+	}
+	want := map[FlitType]string{Head: "H", Body: "B", Tail: "T", HeadTail: "S"}
+	for ft, s := range want {
+		if ft.String() != s {
+			t.Errorf("%v.String() = %q", ft, ft.String())
+		}
+	}
+}
+
+func TestMakePacketFlits(t *testing.T) {
+	p := &Packet{ID: 1, Size: 4}
+	fl := MakePacketFlits(p)
+	if len(fl) != 4 {
+		t.Fatalf("got %d flits", len(fl))
+	}
+	if fl[0].Type != Head || fl[1].Type != Body || fl[2].Type != Body || fl[3].Type != Tail {
+		t.Fatalf("flit train types wrong: %v %v %v %v", fl[0].Type, fl[1].Type, fl[2].Type, fl[3].Type)
+	}
+	for i, f := range fl {
+		if f.Seq != i || f.Pkt != p {
+			t.Fatalf("flit %d mis-built", i)
+		}
+	}
+	single := MakePacketFlits(&Packet{Size: 1})
+	if len(single) != 1 || single[0].Type != HeadTail {
+		t.Fatal("single-flit packet must be HeadTail")
+	}
+}
+
+func TestPacketLatencies(t *testing.T) {
+	p := &Packet{CreatedAt: 100, InjectedAt: 110, EjectedAt: 150}
+	if p.TotalLatency() != 50 || p.NetworkLatency() != 40 {
+		t.Fatalf("latencies: total=%d net=%d", p.TotalLatency(), p.NetworkLatency())
+	}
+}
+
+func TestInputVCFIFO(t *testing.T) {
+	v := NewInputVC(0, 6)
+	p := &Packet{Size: 3}
+	fl := MakePacketFlits(p)
+	for i, f := range fl {
+		v.Push(f, int64(i))
+	}
+	if v.Len() != 3 || v.Empty() {
+		t.Fatal("buffer accounting wrong")
+	}
+	if v.FrontArrived() != 0 {
+		t.Fatal("front arrival wrong")
+	}
+	for i := range fl {
+		if got := v.Pop(); got != fl[i] {
+			t.Fatalf("FIFO order broken at %d", i)
+		}
+	}
+	if !v.Empty() {
+		t.Fatal("not empty after popping all")
+	}
+}
+
+func TestInputVCOverflowPanics(t *testing.T) {
+	v := NewInputVC(0, 2)
+	p := &Packet{Size: 3}
+	fl := MakePacketFlits(p)
+	v.Push(fl[0], 0)
+	v.Push(fl[1], 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected overflow panic (credit violation)")
+		}
+	}()
+	v.Push(fl[2], 0)
+}
+
+func TestInputVCResetRequiresEmpty(t *testing.T) {
+	v := NewInputVC(0, 4)
+	v.Push(MakePacketFlits(&Packet{Size: 1})[0], 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic resetting non-empty VC")
+		}
+	}()
+	v.Reset()
+}
+
+func TestInputVCReset(t *testing.T) {
+	v := NewInputVC(2, 4)
+	v.State = VCActive
+	v.OutDir = topology.East
+	v.OutVC = 3
+	v.Reset()
+	if v.State != VCIdle || v.OutVC != -1 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+// Property: interleaved push/pop preserves FIFO order and never exceeds
+// capacity bookkeeping.
+func TestInputVCFIFOProperty(t *testing.T) {
+	err := quick.Check(func(ops []bool) bool {
+		v := NewInputVC(0, 8)
+		var next, expect int
+		for _, push := range ops {
+			if push && !v.Full() {
+				f := &Flit{Seq: next, Pkt: &Packet{}}
+				next++
+				v.Push(f, 0)
+			} else if !push && !v.Empty() {
+				if v.Pop().Seq != expect {
+					return false
+				}
+				expect++
+			}
+		}
+		return v.Len() == next-expect
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutputVCStateCredits(t *testing.T) {
+	o := NewOutputVCState(4, 6, true)
+	for vc := 0; vc < 4; vc++ {
+		if o.Credits[vc] != 6 {
+			t.Fatalf("vc %d not full", vc)
+		}
+	}
+	o.Consume(0)
+	o.Consume(0)
+	if o.Credits[0] != 4 {
+		t.Fatal("consume broken")
+	}
+	o.Return(0)
+	if o.Credits[0] != 5 {
+		t.Fatal("return broken")
+	}
+}
+
+func TestOutputVCStateOverflowPanics(t *testing.T) {
+	o := NewOutputVCState(2, 3, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected credit-overflow panic")
+		}
+	}()
+	o.Return(1)
+}
+
+func TestOutputVCStateUnderflowPanics(t *testing.T) {
+	o := NewOutputVCState(2, 1, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected credit-underflow panic")
+		}
+	}()
+	o.Consume(0)
+}
+
+func TestOutputVCStateSyncOps(t *testing.T) {
+	o := NewOutputVCState(3, 6, true)
+	o.Allocated[1] = true
+	o.SetZero()
+	for vc := 0; vc < 3; vc++ {
+		if o.Credits[vc] != 0 || o.Allocated[vc] {
+			t.Fatal("SetZero incomplete")
+		}
+	}
+	o.CopyCounts([]int{2, 4, 6})
+	if o.Credits[0] != 2 || o.Credits[1] != 4 || o.Credits[2] != 6 {
+		t.Fatal("CopyCounts wrong")
+	}
+	o.SetFull()
+	for vc := 0; vc < 3; vc++ {
+		if o.Credits[vc] != 6 {
+			t.Fatal("SetFull wrong")
+		}
+	}
+}
+
+func TestVCStateString(t *testing.T) {
+	want := map[VCState]string{VCIdle: "Idle", VCRouting: "RC", VCWaitVC: "VA", VCActive: "SA"}
+	for s, str := range want {
+		if s.String() != str {
+			t.Errorf("%d.String() = %q", int(s), s.String())
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"flov/internal/config"
+)
+
+func TestModelComponentScaling(t *testing.T) {
+	m1 := NewModel(config.Default())    // 1 vnet, 4 VCs
+	m3 := NewModel(config.FullSystem()) // 3 vnets, 12 VCs
+	if m1.BufferSlots() != 5*4*6 {
+		t.Fatalf("slots = %d", m1.BufferSlots())
+	}
+	if m3.RouterStaticW() <= m1.RouterStaticW() {
+		t.Fatal("more buffering must leak more")
+	}
+}
+
+func TestGatedResidualOrdering(t *testing.T) {
+	m := NewModel(config.Default())
+	if !(m.GatedRouterStaticW() < m.RouterStaticW()) {
+		t.Fatal("gated router must leak less than powered router")
+	}
+	if !(m.GatedFLOVRouterStaticW() > m.GatedRouterStaticW()) {
+		t.Fatal("FLOV latches add leakage to a gated router")
+	}
+	if !(m.FLOVRouterStaticW() > m.RouterStaticW()) {
+		t.Fatal("HSC/PSR overhead must add leakage")
+	}
+	ratio := m.GatedRouterStaticW() / m.RouterStaticW()
+	if math.Abs(ratio-GatedResidualFrac) > 1e-9 {
+		t.Fatalf("residual fraction = %v", ratio)
+	}
+}
+
+func TestLinksInMesh(t *testing.T) {
+	m := NewModel(config.Default()) // 8x8
+	if m.LinksInMesh() != 2*(8*7+8*7) {
+		t.Fatalf("links = %d", m.LinksInMesh())
+	}
+}
+
+func TestCyclesToSeconds(t *testing.T) {
+	m := NewModel(config.Default()) // 2 GHz
+	if s := m.CyclesToSeconds(2e9); math.Abs(s-1.0) > 1e-12 {
+		t.Fatalf("2e9 cycles at 2GHz = %v s", s)
+	}
+}
+
+func TestLedgerDisabledBillsNothing(t *testing.T) {
+	l := NewLedger(NewModel(config.Default()))
+	l.AddBufferWrite(10)
+	l.AddDyn(CatLink, 10)
+	l.TickStatic(64, 0, false)
+	if l.TotalEnergyPJ() != 0 || l.Cycles() != 0 {
+		t.Fatal("disabled ledger accumulated energy")
+	}
+}
+
+func TestLedgerDynamicAccounting(t *testing.T) {
+	l := NewLedger(NewModel(config.Default()))
+	l.SetEnabled(true)
+	l.AddBufferWrite(2)
+	l.AddBufferRead(2)
+	l.AddDyn(CatCrossbar, 3)
+	l.AddDyn(CatLink, 1)
+	want := 2*EBufWritePJ + 2*EBufReadPJ + 3*EXbarPJ + ELinkPJ
+	if math.Abs(l.DynamicEnergyPJ()-want) > 1e-9 {
+		t.Fatalf("dyn = %v want %v", l.DynamicEnergyPJ(), want)
+	}
+	if math.Abs(l.CategoryEnergyPJ(CatCrossbar)-3*EXbarPJ) > 1e-9 {
+		t.Fatal("category accounting wrong")
+	}
+}
+
+func TestLedgerGatingOverhead(t *testing.T) {
+	l := NewLedger(NewModel(config.Default()))
+	l.SetEnabled(true)
+	l.AddDyn(CatGating, 2)
+	if math.Abs(l.CategoryEnergyPJ(CatGating)-2*17.7) > 1e-9 {
+		t.Fatalf("gating overhead = %v", l.CategoryEnergyPJ(CatGating))
+	}
+}
+
+func TestLedgerStaticIntegration(t *testing.T) {
+	m := NewModel(config.Default())
+	l := NewLedger(m)
+	l.SetEnabled(true)
+	const cycles = 2000
+	for i := 0; i < cycles; i++ {
+		l.TickStatic(64, 0, false)
+	}
+	// Expected: (64 routers + links) for 1 us at 2 GHz.
+	wantW := 64*m.RouterStaticW() + float64(m.LinksInMesh())*m.LinkStaticW()
+	gotW := l.StaticPowerW()
+	if math.Abs(gotW-wantW)/wantW > 1e-9 {
+		t.Fatalf("static power %v W, want %v W", gotW, wantW)
+	}
+}
+
+func TestLedgerGatedStaticLower(t *testing.T) {
+	m := NewModel(config.Default())
+	all := NewLedger(m)
+	all.SetEnabled(true)
+	half := NewLedger(m)
+	half.SetEnabled(true)
+	for i := 0; i < 100; i++ {
+		all.TickStatic(64, 0, true)
+		half.TickStatic(32, 32, true)
+	}
+	if half.StaticEnergyPJ() >= all.StaticEnergyPJ() {
+		t.Fatal("gating half the routers must reduce static energy")
+	}
+}
+
+func TestPowerZeroWhenNoCycles(t *testing.T) {
+	l := NewLedger(NewModel(config.Default()))
+	if l.StaticPowerW() != 0 || l.DynamicPowerW() != 0 || l.TotalPowerW() != 0 {
+		t.Fatal("power must be 0 with no measured cycles")
+	}
+}
+
+func TestCategoryNames(t *testing.T) {
+	for c := DynCategory(0); c < NumCategories; c++ {
+		if c.String() == "unknown" {
+			t.Errorf("category %d unnamed", int(c))
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package render draws ASCII views of the mesh: per-router power states
+// and scalar heat maps (traffic, buffer occupancy). Useful for eyeballing
+// what a power-gating mechanism actually did to the network.
+package render
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"flov/internal/topology"
+)
+
+// PowerMap renders the mesh as a grid of state glyphs, north row first
+// (matching the usual figure orientation). glyph(id) supplies one rune
+// per router, e.g. 'A' active, 'D' draining, '.' sleeping, 'W' waking.
+func PowerMap(m topology.Mesh, glyph func(id int) rune) string {
+	var b strings.Builder
+	for y := m.Height - 1; y >= 0; y-- {
+		for x := 0; x < m.Width; x++ {
+			if x > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteRune(glyph(m.ID(x, y)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// HeatMap renders a scalar per router on a 0-9 scale (min..max of the
+// provided values), '.' for exact zero. North row first.
+func HeatMap(m topology.Mesh, value func(id int) float64) string {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for id := 0; id < m.N(); id++ {
+		v := value(id)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	for y := m.Height - 1; y >= 0; y-- {
+		for x := 0; x < m.Width; x++ {
+			if x > 0 {
+				b.WriteByte(' ')
+			}
+			v := value(m.ID(x, y))
+			switch {
+			case v == 0:
+				b.WriteByte('.')
+			case hi == lo:
+				b.WriteByte('5')
+			default:
+				level := int(math.Round(9 * (v - lo) / (hi - lo)))
+				b.WriteByte(byte('0' + level))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Legend renders a one-line legend for a power map.
+func Legend() string {
+	return "A=active  D=draining  W=waking  .=power-gated  (north row on top)"
+}
+
+// SideBySide joins two equally tall blocks with a gutter, for printing a
+// power map next to a heat map.
+func SideBySide(left, right, gutter string) string {
+	ls := strings.Split(strings.TrimRight(left, "\n"), "\n")
+	rs := strings.Split(strings.TrimRight(right, "\n"), "\n")
+	n := len(ls)
+	if len(rs) > n {
+		n = len(rs)
+	}
+	width := 0
+	for _, l := range ls {
+		if len(l) > width {
+			width = len(l)
+		}
+	}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		var l, r string
+		if i < len(ls) {
+			l = ls[i]
+		}
+		if i < len(rs) {
+			r = rs[i]
+		}
+		fmt.Fprintf(&b, "%-*s%s%s\n", width, l, gutter, r)
+	}
+	return b.String()
+}

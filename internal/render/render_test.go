@@ -1,0 +1,57 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"flov/internal/topology"
+)
+
+func TestPowerMapOrientation(t *testing.T) {
+	m, _ := topology.NewMesh(3, 2)
+	// Node ids: row y=0 is 0,1,2; y=1 is 3,4,5. North (y=1) prints first.
+	out := PowerMap(m, func(id int) rune { return rune('a' + id) })
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines: %q", lines)
+	}
+	if lines[0] != "d e f" || lines[1] != "a b c" {
+		t.Fatalf("orientation wrong: %q", lines)
+	}
+}
+
+func TestHeatMapScale(t *testing.T) {
+	m, _ := topology.NewMesh(2, 2)
+	vals := map[int]float64{0: 0, 1: 5, 2: 10, 3: 10}
+	out := HeatMap(m, func(id int) float64 { return vals[id] })
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// North row: ids 2,3 = max -> 9 9 ; south row: 0 (zero -> '.'), 1 -> ~4/5.
+	if lines[0] != "9 9" {
+		t.Fatalf("north row: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], ".") {
+		t.Fatalf("zero not dotted: %q", lines[1])
+	}
+}
+
+func TestHeatMapUniformValues(t *testing.T) {
+	m, _ := topology.NewMesh(2, 2)
+	out := HeatMap(m, func(id int) float64 { return 3 })
+	if !strings.Contains(out, "5") {
+		t.Fatalf("uniform map should print 5s: %q", out)
+	}
+}
+
+func TestSideBySide(t *testing.T) {
+	got := SideBySide("a\nbb\n", "X\nY\n", " | ")
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if lines[0] != "a  | X" || lines[1] != "bb | Y" {
+		t.Fatalf("side by side: %q", lines)
+	}
+}
+
+func TestLegendNonEmpty(t *testing.T) {
+	if Legend() == "" {
+		t.Fatal("legend empty")
+	}
+}

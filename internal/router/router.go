@@ -1,0 +1,511 @@
+// Package router implements the baseline 3-stage virtual-channel router
+// (Peh & Dally style) that all four mechanisms build on: per-VC input
+// buffers, route computation, separable VC and switch allocation with
+// round-robin priorities, switch traversal, and credit-based flow control.
+//
+// The router is mechanism-agnostic. Power-gating schemes customize it
+// through four hooks: RouteFn (routing policy), AllocOK (handshake gating
+// of new packet allocations per output), WakeReq (destination-gated wakeup
+// trigger) and OnCtrl (non-credit control messages). Package core wraps it
+// into a FLOV router; package rp drives it from the fabric manager.
+package router
+
+import (
+	"fmt"
+
+	"flov/internal/config"
+	"flov/internal/noc"
+	"flov/internal/power"
+	"flov/internal/routing"
+	"flov/internal/sim"
+	"flov/internal/topology"
+)
+
+// TraceCredit, when non-nil, observes every credit consume/return and
+// every bulk counter rewrite on every router (kind is one of "return",
+// "consume", "copy", "full", "zero", "drop"). Intended for protocol
+// debugging and invariant checks in tests; nil in normal runs.
+var TraceCredit func(routerID int, port topology.Direction, vc int, count int, kind string)
+
+// Signal is the unit carried by control channels: either a credit return
+// for the paired flit channel, or a mechanism-defined control message.
+type Signal struct {
+	IsCredit bool
+	VC       int // credit: freed VC index in the sender's input buffer
+	Msg      any // control: mechanism-defined payload (nil for credits)
+}
+
+// CreditSignal builds a credit return for vc.
+func CreditSignal(vc int) Signal { return Signal{IsCredit: true, VC: vc} }
+
+// CtrlSignal builds a control-message signal.
+func CtrlSignal(msg any) Signal { return Signal{Msg: msg} }
+
+// PortLink bundles the four directed channels of one router port. At mesh
+// edges the non-existent neighbor's queues are nil. The Local port links
+// the router to its network interface with the same machinery.
+type PortLink struct {
+	OutFlit *sim.Delay[*noc.Flit] // flits to the neighbor/NI
+	InFlit  *sim.Delay[*noc.Flit] // flits from the neighbor/NI
+	OutCtrl *sim.Delay[Signal]    // credits+control to the neighbor/NI
+	InCtrl  *sim.Delay[Signal]    // credits+control from the neighbor/NI
+}
+
+// Connected reports whether this port has a neighbor attached.
+func (p *PortLink) Connected() bool { return p.OutFlit != nil }
+
+// Router is one baseline virtual-channel router.
+type Router struct {
+	ID    int
+	Cfg   config.Config
+	Mesh  topology.Mesh
+	Ports [topology.NumPorts]PortLink
+
+	// RouteFn computes the output port for a head flit that arrived on
+	// inDir (topology.Local for injected packets). escape selects the
+	// escape-subnetwork algorithm. Must be set before the first Tick.
+	RouteFn func(inDir topology.Direction, escape bool, pkt *noc.Packet) routing.Decision
+	// AllocOK reports whether NEW packets may currently be allocated
+	// toward outDir (handshake draining gates this). nil means always ok.
+	AllocOK func(outDir topology.Direction) bool
+	// WakeReq is invoked (possibly repeatedly) when a packet must wait
+	// for gated destination target to wake. nil ignores.
+	WakeReq func(target int)
+	// OnCtrl receives non-credit control messages. nil drops them.
+	OnCtrl func(from topology.Direction, msg any)
+	// DropCredit, when non-nil and true for a port, discards incoming
+	// credits on it. A freshly woken FLOV router uses this to ignore
+	// credits that raced ahead of (and are already included in) the
+	// pending MsgCreditSync snapshot.
+	DropCredit func(from topology.Direction) bool
+
+	Ledger *power.Ledger
+
+	in  [topology.NumPorts][]*noc.InputVC
+	out [topology.NumPorts]*noc.OutputVCState
+
+	vaPtr [topology.NumPorts]int
+	saPtr [topology.NumPorts]int
+	inPtr [topology.NumPorts]int
+
+	// Traversals counts flits switched through this router's crossbar
+	// (utilization heat maps).
+	Traversals int64
+}
+
+// New builds a router with empty buffers and full credits on every
+// connected output. Channels must be wired into Ports by the caller
+// (package network) before the first Tick.
+func New(id int, cfg config.Config, mesh topology.Mesh, ledger *power.Ledger) *Router {
+	r := &Router{ID: id, Cfg: cfg, Mesh: mesh, Ledger: ledger}
+	vcs := cfg.VCsTotal()
+	for p := 0; p < int(topology.NumPorts); p++ {
+		r.in[p] = make([]*noc.InputVC, vcs)
+		for v := 0; v < vcs; v++ {
+			r.in[p][v] = noc.NewInputVC(v, cfg.BufferDepth)
+		}
+		r.out[p] = noc.NewOutputVCState(vcs, cfg.BufferDepth, true)
+	}
+	return r
+}
+
+// Out returns the output credit state for a port (used by power-gating
+// wrappers for credit sync).
+func (r *Router) Out(d topology.Direction) *noc.OutputVCState { return r.out[d] }
+
+// InVC returns one input VC (exposed for tests and drain checks).
+func (r *Router) InVC(d topology.Direction, vc int) *noc.InputVC { return r.in[d][vc] }
+
+// Tick advances the router one cycle: control processing, flit receive,
+// then the RC, VA and SA/ST pipeline stages.
+func (r *Router) Tick(now int64) {
+	r.processCtrl(now)
+	r.receive(now)
+	r.stageRC(now)
+	r.stageVA(now)
+	r.stageSA(now)
+}
+
+// processCtrl consumes credits and dispatches control messages.
+func (r *Router) processCtrl(now int64) {
+	for p := 0; p < int(topology.NumPorts); p++ {
+		q := r.Ports[p].InCtrl
+		if q == nil {
+			continue
+		}
+		q.Drain(now, func(s Signal) {
+			if s.IsCredit {
+				if r.DropCredit != nil && r.DropCredit(topology.Direction(p)) {
+					if TraceCredit != nil {
+						TraceCredit(r.ID, topology.Direction(p), s.VC, r.out[p].Credits[s.VC], "drop")
+					}
+					return
+				}
+				if r.out[p].Credits[s.VC] >= r.out[p].Depth() {
+					panic(fmt.Sprintf("router %d: duplicate credit on port %s vc %d at cycle %d",
+						r.ID, topology.Direction(p), s.VC, now))
+				}
+				r.out[p].Return(s.VC)
+				if TraceCredit != nil {
+					TraceCredit(r.ID, topology.Direction(p), s.VC, r.out[p].Credits[s.VC], "return")
+				}
+			} else if r.OnCtrl != nil {
+				r.OnCtrl(topology.Direction(p), s.Msg)
+			}
+		})
+	}
+}
+
+// receive buffers flits arriving on every connected input port.
+func (r *Router) receive(now int64) {
+	for p := 0; p < int(topology.NumPorts); p++ {
+		q := r.Ports[p].InFlit
+		if q == nil {
+			continue
+		}
+		q.Drain(now, func(f *noc.Flit) {
+			r.acceptFlit(topology.Direction(p), f, now)
+		})
+	}
+}
+
+// acceptFlit writes one flit into its input VC. Exposed to the FLOV
+// wrapper, which feeds flits arriving during power-state transitions.
+func (r *Router) acceptFlit(p topology.Direction, f *noc.Flit, now int64) {
+	ivc := r.in[p][f.VC]
+	if ivc.State == noc.VCIdle {
+		if !f.Type.IsHead() {
+			panic(fmt.Sprintf("router %d: non-head flit %s into idle VC %d on port %s", r.ID, f, f.VC, p))
+		}
+		ivc.State = noc.VCRouting
+		ivc.WaitSince = now
+	}
+	ivc.Push(f, now)
+	r.Ledger.AddBufferWrite(1)
+}
+
+// stageRC computes routes for head flits at the front of VCs in RC state.
+func (r *Router) stageRC(now int64) {
+	for p := 0; p < int(topology.NumPorts); p++ {
+		for _, ivc := range r.in[p] {
+			if ivc.State != noc.VCRouting {
+				continue
+			}
+			f := ivc.Front()
+			if f == nil {
+				continue
+			}
+			if !f.Type.IsHead() {
+				panic(fmt.Sprintf("router %d: RC on non-head flit %s", r.ID, f))
+			}
+			pkt := f.Pkt
+			// Duato-style recovery: a head stalled beyond the threshold
+			// moves to the escape subnetwork and stays there.
+			if !pkt.Escape && now-ivc.WaitSince > int64(r.Cfg.EscapeTimeout) {
+				pkt.Escape = true
+			}
+			dec := r.RouteFn(topology.Direction(p), pkt.Escape, pkt)
+			switch {
+			case dec.Hold:
+				if r.WakeReq != nil {
+					r.WakeReq(dec.WakeTarget)
+				}
+			case dec.NoRoute:
+				// Wait for a power-state change or the escape timeout.
+			default:
+				ivc.OutDir = dec.Dir
+				ivc.State = noc.VCWaitVC
+				ivc.RCCycle = now
+			}
+		}
+	}
+}
+
+// candidateVCs returns the downstream VC indices a packet may be
+// allocated: regular VCs of its vnet, or the escape VC once the packet
+// has entered the escape subnetwork. Ejection (Local) frees the packet
+// from the escape restriction — any VC of the vnet works at the NI.
+func (r *Router) candidateVCs(pkt *noc.Packet, outDir topology.Direction) []int {
+	base := r.Cfg.VCBase(pkt.VNet)
+	if pkt.Escape && outDir != topology.Local {
+		return []int{r.Cfg.EscapeVC(pkt.VNet)}
+	}
+	cands := make([]int, 0, r.Cfg.VCsPerVNet)
+	for i := 0; i < r.Cfg.VCsPerVNet; i++ {
+		cands = append(cands, base+i)
+	}
+	return cands
+}
+
+// stageVA allocates downstream VCs to packets that completed RC at least
+// one cycle ago (separable, per-output round-robin across input VCs).
+func (r *Router) stageVA(now int64) {
+	for out := 0; out < int(topology.NumPorts); out++ {
+		outDir := topology.Direction(out)
+		if !r.Ports[out].Connected() {
+			continue
+		}
+		// Gather requesters for this output.
+		type req struct {
+			port int
+			ivc  *noc.InputVC
+		}
+		var reqs []req
+		for p := 0; p < int(topology.NumPorts); p++ {
+			for _, ivc := range r.in[p] {
+				if ivc.State == noc.VCWaitVC && ivc.OutDir == outDir && ivc.RCCycle < now {
+					reqs = append(reqs, req{port: p, ivc: ivc})
+				}
+			}
+		}
+		if len(reqs) == 0 {
+			continue
+		}
+		if r.AllocOK != nil && outDir != topology.Local && !r.AllocOK(outDir) {
+			// Handshake forbids starting new packets toward outDir:
+			// return requesters to RC so they can adapt to the new
+			// power states next cycle.
+			for _, q := range reqs {
+				q.ivc.State = noc.VCRouting
+			}
+			continue
+		}
+		start := r.vaPtr[out] % len(reqs)
+		for i := 0; i < len(reqs); i++ {
+			q := reqs[(start+i)%len(reqs)]
+			f := q.ivc.Front()
+			if f == nil {
+				continue
+			}
+			granted := -1
+			for _, vc := range r.candidateVCs(f.Pkt, outDir) {
+				if !r.out[out].Allocated[vc] {
+					granted = vc
+					break
+				}
+			}
+			if granted < 0 {
+				continue
+			}
+			r.out[out].Allocated[granted] = true
+			q.ivc.OutVC = granted
+			q.ivc.State = noc.VCActive
+			q.ivc.VACycle = now
+			q.ivc.WaitSince = now
+			r.Ledger.AddDyn(power.CatArbitration, 1)
+		}
+		r.vaPtr[out]++
+	}
+}
+
+// saRequest is one input port's switch-allocation bid.
+type saRequest struct {
+	port int
+	ivc  *noc.InputVC
+}
+
+// stageSA performs switch allocation and traversal: one flit per input
+// port and per output port per cycle, credits permitting, respecting the
+// pipeline depth (a flit departs no earlier than arrival + stages - 1).
+func (r *Router) stageSA(now int64) {
+	// A flit traverses the switch RouterStages cycles after arrival, so
+	// one hop costs RouterStages (router) + LinkLatency (wire) cycles —
+	// the paper's 3-cycle router + 1-cycle link.
+	pipeGate := int64(r.Cfg.RouterStages)
+
+	// Input-first: each input port nominates one ready VC (round-robin).
+	var bids [topology.NumPorts]*saRequest
+	for p := 0; p < int(topology.NumPorts); p++ {
+		vcs := r.in[p]
+		n := len(vcs)
+		start := r.inPtr[p] % n
+		for i := 0; i < n; i++ {
+			ivc := vcs[(start+i)%n]
+			if ivc.State != noc.VCActive || ivc.Empty() {
+				continue
+			}
+			if ivc.FrontArrived()+pipeGate > now {
+				continue
+			}
+			od := int(ivc.OutDir)
+			if r.out[od].Credits[ivc.OutVC] <= 0 {
+				r.maybeEscapeStarved(ivc, now)
+				continue
+			}
+			bids[p] = &saRequest{port: p, ivc: ivc}
+			break
+		}
+		r.inPtr[p]++
+	}
+
+	// Output-side arbitration: one winner per output port.
+	for out := 0; out < int(topology.NumPorts); out++ {
+		outDir := topology.Direction(out)
+		var cands []*saRequest
+		for p := 0; p < int(topology.NumPorts); p++ {
+			if bids[p] != nil && bids[p].ivc.OutDir == outDir {
+				cands = append(cands, bids[p])
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		winner := cands[r.saPtr[out]%len(cands)]
+		r.saPtr[out]++
+		r.traverse(winner, now)
+		// Losers keep their bids for future cycles; clear so an input
+		// port sends at most one flit per cycle.
+		for p := range bids {
+			if bids[p] == winner {
+				bids[p] = nil
+			}
+		}
+	}
+}
+
+// maybeEscapeStarved applies deadlock recovery to a packet that holds a
+// downstream VC but has sent nothing and been starved of credits past the
+// timeout: release the (untouched) allocation and re-route via escape.
+func (r *Router) maybeEscapeStarved(ivc *noc.InputVC, now int64) {
+	f := ivc.Front()
+	if f == nil || !f.Type.IsHead() {
+		return // mid-packet: downstream will drain via its own recovery
+	}
+	if f.Pkt.Escape || now-ivc.WaitSince <= int64(r.Cfg.EscapeTimeout) {
+		return
+	}
+	r.out[ivc.OutDir].Allocated[ivc.OutVC] = false
+	ivc.OutVC = -1
+	f.Pkt.Escape = true
+	ivc.State = noc.VCRouting
+}
+
+// traverse moves the winning flit through the crossbar onto its output
+// link and returns a credit upstream.
+func (r *Router) traverse(w *saRequest, now int64) {
+	ivc := w.ivc
+	f := ivc.Pop()
+	outDir := ivc.OutDir
+
+	r.Ledger.AddBufferRead(1)
+	r.Ledger.AddDyn(power.CatCrossbar, 1)
+	r.Ledger.AddDyn(power.CatArbitration, 1)
+	r.Traversals++
+
+	if f.Type.IsHead() {
+		f.Pkt.ActiveHops++
+	}
+
+	f.VC = ivc.OutVC
+	r.out[outDir].Consume(ivc.OutVC)
+	if TraceCredit != nil {
+		TraceCredit(r.ID, outDir, ivc.OutVC, r.out[outDir].Credits[ivc.OutVC], "consume")
+	}
+	r.Ports[outDir].OutFlit.Push(now, f)
+	if outDir != topology.Local {
+		r.Ledger.AddDyn(power.CatLink, 1)
+		if f.Type.IsHead() {
+			f.Pkt.LinkHops++
+		}
+	}
+
+	// Credit back to whoever feeds this input port (router or NI).
+	if r.Ports[w.port].OutCtrl != nil {
+		r.Ports[w.port].OutCtrl.Push(now, CreditSignal(ivc.Index))
+		r.Ledger.AddDyn(power.CatCredit, 1)
+	}
+
+	ivc.WaitSince = now
+	if f.Type.IsTail() {
+		r.out[outDir].Allocated[ivc.OutVC] = false
+		if ivc.Empty() {
+			ivc.Reset()
+		} else {
+			nf := ivc.Front()
+			if !nf.Type.IsHead() {
+				panic(fmt.Sprintf("router %d: flit %s behind tail is not a head", r.ID, nf))
+			}
+			ivc.OutVC = -1
+			ivc.State = noc.VCRouting
+			ivc.WaitSince = now
+		}
+	}
+}
+
+// ReRoute sends every packet that computed a route toward d but has not
+// yet been allocated a downstream VC back to route computation. Power-
+// gating wrappers call this when a neighbor's power state changes: a
+// route computed under the old state may now fly a packet over its own
+// (freshly gated) destination, so it must be recomputed before it can
+// commit. Committed packets (VCActive) are unaffected — the handshake
+// protocol waits for them by design.
+func (r *Router) ReRoute(d topology.Direction) {
+	for p := 0; p < int(topology.NumPorts); p++ {
+		for _, ivc := range r.in[p] {
+			if ivc.State == noc.VCWaitVC && ivc.OutDir == d {
+				ivc.State = noc.VCRouting
+			}
+		}
+	}
+}
+
+// CommittedTo reports whether any in-flight packet still holds an
+// allocation toward output port d — the condition a neighbor must wait
+// out before answering a drain/wakeup handshake with drain_done.
+func (r *Router) CommittedTo(d topology.Direction) bool {
+	for p := 0; p < int(topology.NumPorts); p++ {
+		for _, ivc := range r.in[p] {
+			if ivc.State == noc.VCActive && ivc.OutDir == d {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// BuffersEmpty reports whether every input VC buffer is empty.
+func (r *Router) BuffersEmpty() bool {
+	for p := 0; p < int(topology.NumPorts); p++ {
+		for _, ivc := range r.in[p] {
+			if !ivc.Empty() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ArrivalsPending reports whether any flit is still queued on an input
+// link (sent by a neighbor but not yet received).
+func (r *Router) ArrivalsPending() bool {
+	for p := 0; p < int(topology.NumPorts); p++ {
+		if q := r.Ports[p].InFlit; q != nil && !q.Empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// LocalActivity reports whether the router currently holds any flit that
+// came from or is going to its local port (used for idle detection).
+func (r *Router) LocalActivity() bool {
+	for _, ivc := range r.in[topology.Local] {
+		if !ivc.Empty() {
+			return true
+		}
+	}
+	for p := 0; p < int(topology.NumPorts); p++ {
+		for _, ivc := range r.in[p] {
+			if ivc.State != noc.VCIdle && ivc.State != noc.VCRouting && ivc.OutDir == topology.Local && !ivc.Empty() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// SendCtrl pushes a control message to the neighbor in direction d.
+func (r *Router) SendCtrl(now int64, d topology.Direction, msg any) {
+	r.Ports[d].OutCtrl.Push(now, CtrlSignal(msg))
+	r.Ledger.AddDyn(power.CatHandshake, 1)
+}

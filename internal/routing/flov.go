@@ -1,0 +1,168 @@
+package routing
+
+import (
+	"flov/internal/topology"
+)
+
+// PowerView is the router's local knowledge of network power states: the
+// contents of its Power State Registers. FLOV routing never needs global
+// information — only the states of physical neighbors and (for gFLOV) the
+// identity of the nearest powered-on router in each direction.
+type PowerView interface {
+	// NeighborOn reports whether the physical neighbor of node in
+	// direction d is powered on (routable through its full pipeline).
+	// It must return false if there is no neighbor in that direction.
+	NeighborOn(node int, d topology.Direction) bool
+	// LogicalNeighbor returns the nearest powered-on router strictly
+	// beyond node in direction d (the logical neighbor for credit flow),
+	// or -1 if none exists before the mesh edge.
+	LogicalNeighbor(node int, d topology.Direction) int
+}
+
+// Decision is the outcome of a routing computation.
+type Decision struct {
+	// Dir is the chosen output port. Valid only when Hold is false.
+	Dir topology.Direction
+	// Hold means the packet cannot be forwarded yet: its destination
+	// router is power-gated and sits on the forwarding path, so the
+	// current router must hold the packet and trigger a wakeup.
+	Hold bool
+	// WakeTarget is the gated destination router to wake when Hold.
+	WakeTarget int
+	// NoRoute means no legal output exists this cycle (all candidates
+	// are either gated dead-ends or the forbidden U-turn port); the
+	// packet waits and may later time out into the escape subnetwork,
+	// where a route always exists.
+	NoRoute bool
+}
+
+// destGatedOnPath reports whether dst is a power-gated router lying on the
+// straight FLOV path from cur in direction d (strictly between cur and
+// cur's logical neighbor, or beyond the last powered-on router). When
+// true, flits sent in direction d would fly over the destination, so the
+// sender must instead hold the packet and wake dst.
+func destGatedOnPath(m topology.Mesh, cur, dst int, d topology.Direction, pv PowerView) bool {
+	cx, cy := m.XY(cur)
+	dx, dy := m.XY(dst)
+	// Only straight-line destinations can be flown over.
+	if d.IsVertical() {
+		if dx != cx {
+			return false
+		}
+	} else if dy != cy {
+		return false
+	}
+	ln := pv.LogicalNeighbor(cur, d)
+	if ln == dst {
+		return false // destination is powered on: normal delivery
+	}
+	if ln < 0 {
+		// No powered-on router in that direction at all: dst (which is in
+		// that direction) must be gated.
+		return true
+	}
+	// dst gated iff it lies strictly between cur and the logical neighbor.
+	lx, ly := m.XY(ln)
+	switch d {
+	case topology.North:
+		return dy < ly
+	case topology.South:
+		return dy > ly
+	case topology.East:
+		return dx < lx
+	case topology.West:
+		return dx > lx
+	}
+	return false
+}
+
+// FLOVRegular computes the §V partition-based dynamic route for a packet
+// in a regular VC at powered-on router cur, heading to dst, having arrived
+// through input port inDir (topology.Local for freshly injected packets).
+//
+// Rules, verbatim from the paper:
+//   - axis partitions (1,3,5,7): send directly N/W/S/E — FLOV links ensure
+//     connectivity over gated routers;
+//   - quadrant partitions (0,2,4,6): prefer the Y-direction neighbor if
+//     powered on (YX routing), else the X-direction neighbor if powered
+//     on, else forward East toward the always-on column;
+//   - never send a packet back out the port it arrived on (no U-turns);
+//   - if the destination itself is gated and lies on the straight path,
+//     hold the packet and wake the destination.
+func FLOVRegular(m topology.Mesh, cur, dst int, inDir topology.Direction, pv PowerView) Decision {
+	p := PartitionOf(m, cur, dst)
+	if p == PartHere {
+		return Decision{Dir: topology.Local}
+	}
+	forbidden := inDir // U-turn port; Local forbids nothing
+	if p.IsAxis() {
+		d := p.AxisDir()
+		if destGatedOnPath(m, cur, dst, d, pv) {
+			return Decision{Hold: true, WakeTarget: dst}
+		}
+		if d == forbidden {
+			// Can only happen transiently after power-state changes
+			// re-shape partitions mid-flight; wait for escape timeout.
+			return Decision{NoRoute: true}
+		}
+		return Decision{Dir: d}
+	}
+	ydir, xdir := p.QuadrantDirs()
+	if ydir != forbidden && pv.NeighborOn(cur, ydir) {
+		return Decision{Dir: ydir}
+	}
+	if xdir != forbidden && pv.NeighborOn(cur, xdir) {
+		return Decision{Dir: xdir}
+	}
+	// Both turn candidates unusable: head East toward the AON column so a
+	// turn is guaranteed eventually. The AON column itself always has
+	// powered-on Y neighbors, so East is never needed there.
+	if topology.East == forbidden || !m.HasNeighbor(cur, topology.East) {
+		return Decision{NoRoute: true}
+	}
+	return Decision{Dir: topology.East}
+}
+
+// FLOVEscape computes the deadlock-free escape-subnetwork route. Packets
+// with axis destinations go straight; quadrant destinations go East until
+// the always-on column, then North/South, then West along the destination
+// row. The resulting turn set {E->N, E->S, N->W, S->W} contains no cycle
+// (Fig. 4b), so the escape subnetwork is deadlock-free. Escape routing is
+// deterministic and ignores the U-turn rule; it always returns a route.
+func FLOVEscape(m topology.Mesh, cur, dst int, pv PowerView) Decision {
+	p := PartitionOf(m, cur, dst)
+	if p == PartHere {
+		return Decision{Dir: topology.Local}
+	}
+	if p.IsAxis() {
+		d := p.AxisDir()
+		if destGatedOnPath(m, cur, dst, d, pv) {
+			return Decision{Hold: true, WakeTarget: dst}
+		}
+		return Decision{Dir: d}
+	}
+	ydir, _ := p.QuadrantDirs()
+	if m.InAONColumn(cur) {
+		// Turn toward the destination row inside the always-on column.
+		return Decision{Dir: ydir}
+	}
+	return Decision{Dir: topology.East}
+}
+
+// EscapeTurnAllowed reports whether the (in, out) turn is permitted in the
+// escape subnetwork per Fig. 4(b). in is the direction the packet was
+// traveling (not the input port), out the direction it would take next.
+// Straight-through and ejection/injection are always allowed.
+func EscapeTurnAllowed(in, out topology.Direction) bool {
+	if in == topology.Local || out == topology.Local || in == out {
+		return true
+	}
+	type turn struct{ in, out topology.Direction }
+	allowed := map[turn]bool{
+		{topology.East, topology.North}: true,
+		{topology.East, topology.South}: true,
+		{topology.North, topology.West}: true,
+		{topology.South, topology.West}: true,
+	}
+	return allowed[turn{in, out}]
+}

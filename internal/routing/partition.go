@@ -1,0 +1,129 @@
+// Package routing implements every routing algorithm in the FLOV paper:
+// the YX dimension-order baseline, the 8-way destination partitioning of
+// Fig. 4(a), the partition-based dynamic routing algorithm of §V (regular
+// VCs), the deadlock-free escape-subnetwork routing with the Fig. 4(b)
+// turn restrictions, and table-based routing for Router Parking.
+package routing
+
+import (
+	"flov/internal/topology"
+)
+
+// Partition identifies which of the 8 regions of Fig. 4(a) a destination
+// falls into, relative to the current router. Odd partitions are the four
+// axes (same row/column); even partitions are the four quadrants.
+type Partition int
+
+// Partition values follow the paper's numbering: packets to partitions
+// 1, 3, 5, 7 go directly North, West, South, East; quadrant partitions
+// 0, 2, 4, 6 require a turn.
+const (
+	PartNE Partition = 0 // north-east quadrant
+	PartN  Partition = 1 // same column, north
+	PartNW Partition = 2 // north-west quadrant
+	PartW  Partition = 3 // same row, west
+	PartSW Partition = 4 // south-west quadrant
+	PartS  Partition = 5 // same column, south
+	PartSE Partition = 6 // south-east quadrant
+	PartE  Partition = 7 // same row, east
+	// PartHere means cur == dst.
+	PartHere Partition = -1
+)
+
+// IsAxis reports whether the destination is in the same row or column.
+func (p Partition) IsAxis() bool { return p == PartN || p == PartS || p == PartE || p == PartW }
+
+// AxisDir returns the direct output direction for an axis partition.
+// It panics for quadrant partitions.
+func (p Partition) AxisDir() topology.Direction {
+	switch p {
+	case PartN:
+		return topology.North
+	case PartS:
+		return topology.South
+	case PartE:
+		return topology.East
+	case PartW:
+		return topology.West
+	}
+	panic("routing: AxisDir on quadrant partition")
+}
+
+// QuadrantDirs returns the (Y, X) direction pair toward a quadrant
+// destination. It panics for axis partitions.
+func (p Partition) QuadrantDirs() (ydir, xdir topology.Direction) {
+	switch p {
+	case PartNE:
+		return topology.North, topology.East
+	case PartNW:
+		return topology.North, topology.West
+	case PartSW:
+		return topology.South, topology.West
+	case PartSE:
+		return topology.South, topology.East
+	}
+	panic("routing: QuadrantDirs on axis partition")
+}
+
+// PartitionOf classifies dst relative to cur per Fig. 4(a).
+func PartitionOf(m topology.Mesh, cur, dst int) Partition {
+	cx, cy := m.XY(cur)
+	dx, dy := m.XY(dst)
+	switch {
+	case dx == cx && dy == cy:
+		return PartHere
+	case dx == cx && dy > cy:
+		return PartN
+	case dx == cx && dy < cy:
+		return PartS
+	case dy == cy && dx > cx:
+		return PartE
+	case dy == cy && dx < cx:
+		return PartW
+	case dx > cx && dy > cy:
+		return PartNE
+	case dx < cx && dy > cy:
+		return PartNW
+	case dx < cx && dy < cy:
+		return PartSW
+	default:
+		return PartSE
+	}
+}
+
+// YX returns the next-hop direction under YX dimension-order routing
+// (Y resolved first, then X) — the paper's baseline routing.
+func YX(m topology.Mesh, cur, dst int) topology.Direction {
+	cx, cy := m.XY(cur)
+	dx, dy := m.XY(dst)
+	switch {
+	case dy > cy:
+		return topology.North
+	case dy < cy:
+		return topology.South
+	case dx > cx:
+		return topology.East
+	case dx < cx:
+		return topology.West
+	default:
+		return topology.Local
+	}
+}
+
+// XY returns the next-hop direction under XY dimension-order routing.
+func XY(m topology.Mesh, cur, dst int) topology.Direction {
+	cx, cy := m.XY(cur)
+	dx, dy := m.XY(dst)
+	switch {
+	case dx > cx:
+		return topology.East
+	case dx < cx:
+		return topology.West
+	case dy > cy:
+		return topology.North
+	case dy < cy:
+		return topology.South
+	default:
+		return topology.Local
+	}
+}

@@ -1,0 +1,262 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flov/internal/topology"
+)
+
+func mesh8(t testing.TB) topology.Mesh {
+	t.Helper()
+	m, err := topology.NewMesh(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPartitionOfAxes(t *testing.T) {
+	m := mesh8(t)
+	cur := m.ID(4, 4)
+	cases := []struct {
+		x, y int
+		want Partition
+	}{
+		{4, 6, PartN}, {4, 1, PartS}, {6, 4, PartE}, {1, 4, PartW},
+		{6, 6, PartNE}, {1, 6, PartNW}, {1, 1, PartSW}, {6, 1, PartSE},
+		{4, 4, PartHere},
+	}
+	for _, c := range cases {
+		if got := PartitionOf(m, cur, m.ID(c.x, c.y)); got != c.want {
+			t.Errorf("PartitionOf -> (%d,%d) = %v want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestPartitionHelpers(t *testing.T) {
+	if !PartN.IsAxis() || PartNE.IsAxis() {
+		t.Fatal("IsAxis wrong")
+	}
+	if PartE.AxisDir() != topology.East {
+		t.Fatal("AxisDir wrong")
+	}
+	y, x := PartNW.QuadrantDirs()
+	if y != topology.North || x != topology.West {
+		t.Fatal("QuadrantDirs wrong")
+	}
+}
+
+// Property: YX routing reaches the destination in exactly Hops steps.
+func TestYXReachesDestination(t *testing.T) {
+	m := mesh8(t)
+	err := quick.Check(func(a, b uint8) bool {
+		src, dst := int(a)%m.N(), int(b)%m.N()
+		cur, steps := src, 0
+		for cur != dst {
+			d := YX(m, cur, dst)
+			cur = m.Neighbor(cur, d)
+			if cur < 0 {
+				return false
+			}
+			steps++
+			if steps > m.N() {
+				return false
+			}
+		}
+		return steps == m.Hops(src, dst) && YX(m, dst, dst) == topology.Local
+	}, &quick.Config{MaxCount: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: XY routing is minimal too.
+func TestXYReachesDestination(t *testing.T) {
+	m := mesh8(t)
+	err := quick.Check(func(a, b uint8) bool {
+		src, dst := int(a)%m.N(), int(b)%m.N()
+		cur, steps := src, 0
+		for cur != dst {
+			cur = m.Neighbor(cur, XY(m, cur, dst))
+			if cur < 0 {
+				return false
+			}
+			steps++
+			if steps > m.N() {
+				return false
+			}
+		}
+		return steps == m.Hops(src, dst)
+	}, &quick.Config{MaxCount: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// maskView implements PowerView from a gated mask for routing tests.
+type maskView struct {
+	m     topology.Mesh
+	gated map[int]bool
+}
+
+func (v maskView) NeighborOn(node int, d topology.Direction) bool {
+	nb := v.m.Neighbor(node, d)
+	return nb >= 0 && !v.gated[nb]
+}
+
+func (v maskView) LogicalNeighbor(node int, d topology.Direction) int {
+	for nb := v.m.Neighbor(node, d); nb >= 0; nb = v.m.Neighbor(nb, d) {
+		if !v.gated[nb] {
+			return nb
+		}
+	}
+	return -1
+}
+
+func TestFLOVRegularAxisFliesOverGated(t *testing.T) {
+	m := mesh8(t)
+	v := maskView{m: m, gated: map[int]bool{m.ID(5, 4): true}}
+	// Destination due east beyond a gated router: go East anyway.
+	dec := FLOVRegular(m, m.ID(4, 4), m.ID(6, 4), topology.Local, v)
+	if dec.Hold || dec.NoRoute || dec.Dir != topology.East {
+		t.Fatalf("axis-over-gated: %+v", dec)
+	}
+}
+
+func TestFLOVRegularHoldsForGatedDestination(t *testing.T) {
+	m := mesh8(t)
+	dst := m.ID(5, 4)
+	v := maskView{m: m, gated: map[int]bool{dst: true}}
+	dec := FLOVRegular(m, m.ID(4, 4), dst, topology.Local, v)
+	if !dec.Hold || dec.WakeTarget != dst {
+		t.Fatalf("expected hold+wake for gated destination, got %+v", dec)
+	}
+}
+
+func TestFLOVRegularQuadrantPrefersY(t *testing.T) {
+	m := mesh8(t)
+	v := maskView{m: m, gated: map[int]bool{}}
+	dec := FLOVRegular(m, m.ID(4, 4), m.ID(6, 6), topology.Local, v)
+	if dec.Dir != topology.North {
+		t.Fatalf("quadrant should prefer Y (YX routing), got %v", dec.Dir)
+	}
+}
+
+func TestFLOVRegularQuadrantFallsToX(t *testing.T) {
+	m := mesh8(t)
+	v := maskView{m: m, gated: map[int]bool{m.ID(4, 5): true}}
+	dec := FLOVRegular(m, m.ID(4, 4), m.ID(6, 6), topology.Local, v)
+	if dec.Dir != topology.East {
+		t.Fatalf("quadrant with gated Y should use X, got %v", dec.Dir)
+	}
+}
+
+func TestFLOVRegularQuadrantFallsEast(t *testing.T) {
+	m := mesh8(t)
+	// Destination north-west; both N and W neighbors gated: go East
+	// toward the AON column.
+	v := maskView{m: m, gated: map[int]bool{m.ID(4, 5): true, m.ID(3, 4): true}}
+	dec := FLOVRegular(m, m.ID(4, 4), m.ID(1, 6), topology.Local, v)
+	if dec.Dir != topology.East {
+		t.Fatalf("double-gated quadrant should fall East, got %+v", dec)
+	}
+}
+
+func TestFLOVRegularNoUTurn(t *testing.T) {
+	m := mesh8(t)
+	// Packet arrived from the East; NW destination; N gated, W gated:
+	// East is forbidden (U-turn), so no route this cycle.
+	v := maskView{m: m, gated: map[int]bool{m.ID(4, 5): true, m.ID(3, 4): true}}
+	dec := FLOVRegular(m, m.ID(4, 4), m.ID(1, 6), topology.East, v)
+	if !dec.NoRoute {
+		t.Fatalf("expected NoRoute (U-turn forbidden), got %+v", dec)
+	}
+}
+
+func TestFLOVRegularUTurnExcludesPreferredY(t *testing.T) {
+	m := mesh8(t)
+	v := maskView{m: m, gated: map[int]bool{}}
+	// Arrived from the North; destination NE: Y preference (North) is a
+	// U-turn, so the X direction must be chosen.
+	dec := FLOVRegular(m, m.ID(4, 4), m.ID(6, 6), topology.North, v)
+	if dec.Dir != topology.East {
+		t.Fatalf("U-turn exclusion failed: %+v", dec)
+	}
+}
+
+// Property: under any gated set (AON column always on, corners handled),
+// FLOV escape routing always produces a legal move and reaches the
+// destination (or holds for a gated destination) within a bounded number
+// of steps, never taking a forbidden Fig. 4(b) turn.
+func TestFLOVEscapeTerminatesAndLegalTurns(t *testing.T) {
+	m := mesh8(t)
+	err := quick.Check(func(a, b uint8, seedMask uint16) bool {
+		src, dst := int(a)%m.N(), int(b)%m.N()
+		gated := map[int]bool{}
+		for id := 0; id < m.N(); id++ {
+			if m.InAONColumn(id) || id == src {
+				continue
+			}
+			if seedMask&(1<<(uint(id)%16)) != 0 && (id%3 == int(seedMask)%3) {
+				gated[id] = true
+			}
+		}
+		v := maskView{m: m, gated: gated}
+		cur := src
+		last := topology.Local
+		for steps := 0; steps < 4*m.N(); steps++ {
+			dec := FLOVEscape(m, cur, dst, v)
+			if dec.Hold {
+				return gated[dst] // holding is only legal for a gated destination
+			}
+			if dec.Dir == topology.Local {
+				return cur == dst
+			}
+			if !EscapeTurnAllowed(last, dec.Dir) {
+				return false
+			}
+			next := m.Neighbor(cur, dec.Dir)
+			if next < 0 {
+				return false
+			}
+			last = dec.Dir
+			// Fly over gated intermediates without turning.
+			for gated[next] && next != dst {
+				nn := m.Neighbor(next, dec.Dir)
+				if nn < 0 {
+					return false
+				}
+				next = nn
+			}
+			cur = next
+		}
+		return false
+	}, &quick.Config{MaxCount: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEscapeTurnRules(t *testing.T) {
+	allowed := [][2]topology.Direction{
+		{topology.East, topology.North}, {topology.East, topology.South},
+		{topology.North, topology.West}, {topology.South, topology.West},
+		{topology.East, topology.East}, {topology.Local, topology.North},
+		{topology.West, topology.Local},
+	}
+	for _, a := range allowed {
+		if !EscapeTurnAllowed(a[0], a[1]) {
+			t.Errorf("turn %v->%v should be allowed", a[0], a[1])
+		}
+	}
+	forbidden := [][2]topology.Direction{
+		{topology.North, topology.East}, {topology.South, topology.East},
+		{topology.West, topology.North}, {topology.West, topology.South},
+	}
+	for _, f := range forbidden {
+		if EscapeTurnAllowed(f[0], f[1]) {
+			t.Errorf("turn %v->%v should be forbidden", f[0], f[1])
+		}
+	}
+}

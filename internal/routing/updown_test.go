@@ -1,0 +1,204 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flov/internal/sim"
+	"flov/internal/topology"
+)
+
+// randomConnectedActive draws a random active mask that keeps node 0 (the
+// root) active and the whole active set connected.
+func randomConnectedActive(m topology.Mesh, rng *sim.RNG, gateProb float64) []bool {
+	active := make([]bool, m.N())
+	for i := range active {
+		active[i] = true
+	}
+	perm := rng.Perm(m.N())
+	for _, id := range perm {
+		if id == 0 || !rng.Bernoulli(gateProb) {
+			continue
+		}
+		active[id] = false
+		if !Connected(m, active) {
+			active[id] = true
+		}
+	}
+	return active
+}
+
+func TestUpDownTableFullMesh(t *testing.T) {
+	m := mesh8(t)
+	active := make([]bool, m.N())
+	for i := range active {
+		active[i] = true
+	}
+	tab, err := BuildUpDownTable(m, active, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < m.N(); s++ {
+		for d := 0; d < m.N(); d++ {
+			if !tab.HasRoute(s, d) {
+				t.Fatalf("no route %d -> %d on full mesh", s, d)
+			}
+		}
+		if tab.NextHop(s, s) != topology.Local {
+			t.Fatalf("self route for %d is %v", s, tab.NextHop(s, s))
+		}
+	}
+}
+
+// Property: on a random connected active subgraph, every active pair is
+// routable, paths stay within active nodes, terminate, and respect the
+// up*/down* rule (no up link after a down link).
+func TestUpDownTableProperty(t *testing.T) {
+	m := mesh8(t)
+	rng := sim.NewRNG(99)
+	for trial := 0; trial < 30; trial++ {
+		active := randomConnectedActive(m, rng, 0.4)
+		tab, err := BuildUpDownTable(m, active, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Recompute BFS levels exactly as the builder does.
+		level := bfsLevels(m, active, 0)
+		for s := 0; s < m.N(); s++ {
+			if !active[s] {
+				continue
+			}
+			for d := 0; d < m.N(); d++ {
+				if !active[d] {
+					continue
+				}
+				cur, down, steps := s, false, 0
+				for cur != d {
+					dir := tab.NextHop(cur, d)
+					if dir == NoRouteDir {
+						t.Fatalf("trial %d: no route %d -> %d", trial, s, d)
+					}
+					next := m.Neighbor(cur, dir)
+					if next < 0 || !active[next] {
+						t.Fatalf("trial %d: route %d->%d leaves active set at %d", trial, s, d, cur)
+					}
+					up := level[next] < level[cur] || (level[next] == level[cur] && next < cur)
+					if down && up {
+						t.Fatalf("trial %d: down->up violation %d->%d at %d", trial, s, d, cur)
+					}
+					down = down || !up
+					cur = next
+					if steps++; steps > 2*m.N() {
+						t.Fatalf("trial %d: route %d->%d does not terminate", trial, s, d)
+					}
+				}
+			}
+		}
+	}
+}
+
+func bfsLevels(m topology.Mesh, active []bool, root int) []int {
+	level := make([]int, m.N())
+	for i := range level {
+		level[i] = -1
+	}
+	level[root] = 0
+	q := []int{root}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		for d := topology.Direction(0); d < topology.NumLinkDirs; d++ {
+			v := m.Neighbor(u, d)
+			if v >= 0 && active[v] && level[v] < 0 {
+				level[v] = level[u] + 1
+				q = append(q, v)
+			}
+		}
+	}
+	return level
+}
+
+func TestUpDownRejectsInactiveRoot(t *testing.T) {
+	m := mesh8(t)
+	active := make([]bool, m.N())
+	for i := range active {
+		active[i] = true
+	}
+	active[0] = false
+	if _, err := BuildUpDownTable(m, active, 0); err == nil {
+		t.Fatal("expected error for inactive root")
+	}
+}
+
+func TestUpDownRejectsBadMask(t *testing.T) {
+	m := mesh8(t)
+	if _, err := BuildUpDownTable(m, make([]bool, 5), 0); err == nil {
+		t.Fatal("expected error for short mask")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	m := mesh8(t)
+	active := make([]bool, m.N())
+	for i := range active {
+		active[i] = true
+	}
+	if !Connected(m, active) {
+		t.Fatal("full mesh not connected")
+	}
+	// Cut column 4 entirely: two components.
+	for y := 0; y < 8; y++ {
+		active[m.ID(4, y)] = false
+	}
+	if Connected(m, active) {
+		t.Fatal("split mesh reported connected")
+	}
+	// Single active node is vacuously connected.
+	for i := range active {
+		active[i] = false
+	}
+	active[3] = true
+	if !Connected(m, active) {
+		t.Fatal("singleton not connected")
+	}
+}
+
+// Property: Connected agrees with a reachability count.
+func TestConnectedMatchesReachability(t *testing.T) {
+	m := mesh8(t)
+	rng := sim.NewRNG(123)
+	err := quick.Check(func(seed uint32) bool {
+		r := rng.Fork(uint64(seed))
+		active := make([]bool, m.N())
+		anyOn := false
+		for i := range active {
+			active[i] = r.Bernoulli(0.7)
+			anyOn = anyOn || active[i]
+		}
+		if !anyOn {
+			return Connected(m, active)
+		}
+		// Reference: BFS from first active.
+		start := -1
+		total := 0
+		for i, a := range active {
+			if a {
+				total++
+				if start < 0 {
+					start = i
+				}
+			}
+		}
+		lv := bfsLevels(m, active, start)
+		count := 0
+		for i, l := range lv {
+			if l >= 0 && active[i] {
+				count++
+			}
+		}
+		return Connected(m, active) == (count == total)
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

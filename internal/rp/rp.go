@@ -1,0 +1,229 @@
+// Package rp implements the Router Parking baseline (Samih et al.,
+// HPCA 2013) as described in the FLOV paper's evaluation: a centralized
+// Fabric Manager (FM) that, on every core power-state change, stalls all
+// new packet injections, recomputes which routers to park and the routing
+// tables over the remaining active subgraph, distributes the tables
+// (Phase I, >700 cycles), and only then resumes the network.
+//
+// The aggressive parking policy is modeled (park every gated-core router
+// whose removal keeps the active subgraph connected), which the paper
+// uses for its workload-independent static power comparison (Fig. 9).
+// Routing tables are shortest-path next hops constrained to up*/down*
+// legality on a BFS spanning tree rooted at the FM, so table routing is
+// deadlock-free; detours around parked regions appear exactly where
+// parking forces them.
+package rp
+
+import (
+	"sort"
+
+	"flov/internal/network"
+	"flov/internal/nlog"
+	"flov/internal/noc"
+	"flov/internal/power"
+	"flov/internal/routing"
+	"flov/internal/topology"
+)
+
+// Mechanism is the Router Parking scheme plugged into a network.Network.
+type Mechanism struct {
+	net    *network.Network
+	ledger *power.Ledger
+
+	fmNode int // router hosting the fabric manager (and up*/down* root)
+
+	parked []bool
+	table  *routing.Table
+
+	// Reconfiguration state (Phase I).
+	reconfiguring bool
+	reconfigReady int64  // cycle Phase I completes
+	pendingGated  []bool // core mask to apply at the end of Phase I
+
+	reconfigs  int64
+	stallStart int64
+}
+
+// New returns a Router Parking mechanism with the fabric manager at node
+// 0 (the south-west corner, a memory-controller node in the full-system
+// configuration).
+func New() *Mechanism { return &Mechanism{fmNode: 0} }
+
+// Name implements network.Mechanism.
+func (m *Mechanism) Name() string { return "RP" }
+
+// Attach installs table routing on every router, with all routers active.
+func (m *Mechanism) Attach(n *network.Network) {
+	m.net = n
+	m.ledger = n.Ledger
+	m.parked = make([]bool, n.Cfg.N())
+	allActive := make([]bool, n.Cfg.N())
+	for i := range allActive {
+		allActive[i] = true
+	}
+	t, err := routing.BuildUpDownTable(n.Mesh, allActive, m.fmNode)
+	if err != nil {
+		panic("rp: initial table: " + err.Error())
+	}
+	m.table = t
+	for id, r := range n.Routers {
+		cur := id
+		r.RouteFn = func(inDir topology.Direction, escape bool, pkt *noc.Packet) routing.Decision {
+			d := m.table.NextHop(cur, pkt.Dst)
+			if d == routing.NoRouteDir {
+				// Unreachable destinations cannot occur: traffic only
+				// targets active cores, whose routers are never parked.
+				return routing.Decision{NoRoute: true}
+			}
+			return routing.Decision{Dir: d}
+		}
+	}
+}
+
+// OnGatingChange starts (or restarts) a reconfiguration epoch: Phase I
+// stalls every injection while the FM recomputes and distributes state.
+func (m *Mechanism) OnGatingChange(now int64, gated []bool) {
+	m.pendingGated = append([]bool(nil), gated...)
+	activeRouters := 0
+	for _, p := range m.parked {
+		if !p {
+			activeRouters++
+		}
+	}
+	phase1 := int64(m.net.Cfg.RPPhase1Base + m.net.Cfg.RPPhase1PerNode*activeRouters)
+	if !m.reconfiguring {
+		m.stallStart = now
+	}
+	m.reconfiguring = true
+	m.reconfigReady = now + phase1
+	m.reconfigs++
+	if m.net.Trace != nil {
+		m.net.Trace.Addf(now, nlog.KReconfig, -1, "FM Phase I begins: network stalled for >= %d cycles", phase1)
+	}
+	// Table distribution traffic: one control message per active router.
+	m.ledger.AddDyn(power.CatHandshake, activeRouters)
+}
+
+// TickRouters advances active routers and progresses reconfiguration.
+func (m *Mechanism) TickRouters(now int64) {
+	for id, r := range m.net.Routers {
+		if !m.parked[id] {
+			r.Tick(now)
+		}
+	}
+	if m.reconfiguring && now >= m.reconfigReady && m.networkEmpty() {
+		m.applyReconfiguration(now)
+	}
+}
+
+// networkEmpty reports whether no flits remain in flight (stalled
+// injections guarantee this converges).
+func (m *Mechanism) networkEmpty() bool {
+	return m.net.Stats.InFlightFlits() == 0
+}
+
+// applyReconfiguration commits the new parked set and routing tables and
+// releases the injection stall.
+func (m *Mechanism) applyReconfiguration(now int64) {
+	newParked := m.computeParkedSet(m.pendingGated)
+	active := make([]bool, len(newParked))
+	for i, p := range newParked {
+		active[i] = !p
+	}
+	t, err := routing.BuildUpDownTable(m.net.Mesh, active, m.fmNode)
+	if err != nil {
+		panic("rp: reconfiguration table: " + err.Error())
+	}
+	// Power-gating transitions for every router changing state.
+	for i := range newParked {
+		if newParked[i] != m.parked[i] {
+			m.ledger.AddDyn(power.CatGating, 1)
+		}
+	}
+	m.table = t
+	m.parked = newParked
+	m.reconfiguring = false
+	if m.net.Trace != nil {
+		on, gated := m.RouterPowerCounts()
+		m.net.Trace.Addf(now, nlog.KReconfig, -1,
+			"FM reconfiguration applied after %d stalled cycles: %d parked, %d active",
+			now-m.stallStart, gated, on)
+	}
+}
+
+// computeParkedSet greedily parks gated-core routers while keeping the
+// active subgraph connected (the aggressive policy): candidates in id
+// order, each parked only if the remaining active routers stay one
+// component.
+func (m *Mechanism) computeParkedSet(gated []bool) []bool {
+	n := m.net.Cfg.N()
+	parked := make([]bool, n)
+	active := make([]bool, n)
+	for i := 0; i < n; i++ {
+		active[i] = true
+	}
+	// The FM is centralized and sees all pending traffic: a router whose
+	// node still has packets queued toward it must not be parked, or the
+	// packets would become unroutable.
+	hasPending := make([]bool, n)
+	for _, ni := range m.net.NIs {
+		ni.EachPending(func(p *noc.Packet) { hasPending[p.Dst] = true })
+	}
+	var candidates []int
+	for i := 0; i < n; i++ {
+		if gated[i] && i != m.fmNode && !hasPending[i] {
+			candidates = append(candidates, i)
+		}
+	}
+	sort.Ints(candidates)
+	for _, c := range candidates {
+		active[c] = false
+		if routing.Connected(m.net.Mesh, active) {
+			parked[c] = true
+		} else {
+			active[c] = true
+		}
+	}
+	return parked
+}
+
+// CanInject stalls all injections during Phase I (the paper: "the network
+// has to stall and no new injections are allowed").
+func (m *Mechanism) CanInject(node int) bool { return !m.reconfiguring }
+
+// RouterPowerCounts: parked routers burn residual leakage.
+func (m *Mechanism) RouterPowerCounts() (on, gated int) {
+	for _, p := range m.parked {
+		if p {
+			gated++
+		} else {
+			on++
+		}
+	}
+	return on, gated
+}
+
+// RouterOn reports whether router id is unparked.
+func (m *Mechanism) RouterOn(id int) bool { return !m.parked[id] }
+
+// FLOVCapable is false: RP routers have no FLOV latches or HSC overhead.
+func (m *Mechanism) FLOVCapable() bool { return false }
+
+// Quiescent reports whether no reconfiguration is pending.
+func (m *Mechanism) Quiescent() bool { return !m.reconfiguring }
+
+// Reconfigs returns how many reconfiguration epochs have run.
+func (m *Mechanism) Reconfigs() int64 { return m.reconfigs }
+
+// ParkedIDs lists currently parked routers.
+func (m *Mechanism) ParkedIDs() []int {
+	var ids []int
+	for id, p := range m.parked {
+		if p {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+var _ network.Mechanism = (*Mechanism)(nil)

@@ -1,0 +1,82 @@
+package rp
+
+import (
+	"testing"
+
+	"flov/internal/config"
+	"flov/internal/gating"
+	"flov/internal/network"
+	"flov/internal/routing"
+	"flov/internal/sim"
+	"flov/internal/topology"
+	"flov/internal/traffic"
+)
+
+func buildRP(t *testing.T, frac float64, rate float64, total int64, pattern traffic.Pattern) (*network.Network, *Mechanism) {
+	t.Helper()
+	cfg := config.Default()
+	cfg.TotalCycles = total
+	cfg.WarmupCycles = total / 10
+	mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := gating.FractionGated(mesh, frac, nil, sim.NewRNG(7))
+	sched := gating.Static(mask)
+	gen := traffic.NewGenerator(pattern, mesh, nil)
+	mech := New()
+	n, err := network.New(cfg, mech, sched, gen, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, mech
+}
+
+func TestRPUniformDelivers(t *testing.T) {
+	for _, frac := range []float64{0.0, 0.2, 0.5, 0.8} {
+		n, mech := buildRP(t, frac, 0.02, 30000, traffic.Uniform)
+		res := n.Run()
+		if res.Packets == 0 {
+			t.Fatalf("frac=%.1f: no packets delivered", frac)
+		}
+		if res.Undelivered != 0 {
+			t.Fatalf("frac=%.1f: %d undelivered flits (%s)", frac, res.Undelivered, res)
+		}
+		if frac >= 0.2 && res.GatedRouters == 0 {
+			t.Fatalf("frac=%.1f: RP parked no routers", frac)
+		}
+		t.Logf("frac=%.1f: %s reconfigs=%d", frac, res, mech.Reconfigs())
+	}
+}
+
+// Parking must preserve connectivity of the active subgraph.
+func TestRPConnectivityInvariant(t *testing.T) {
+	n, mech := buildRP(t, 0.6, 0.02, 20000, traffic.Uniform)
+	_ = n.Run()
+	active := make([]bool, n.Cfg.N())
+	for i := range active {
+		active[i] = mech.RouterOn(i)
+	}
+	if !routing.Connected(n.Mesh, active) {
+		t.Fatal("active-router subgraph disconnected after parking")
+	}
+	// Every active core's router must be on.
+	for i, g := range n.GatedMask() {
+		if !g && !mech.RouterOn(i) {
+			t.Fatalf("router %d parked while its core is active", i)
+		}
+	}
+}
+
+// RP parks fewer routers than there are gated cores when connectivity
+// requires connector routers.
+func TestRPParksSubsetOfGated(t *testing.T) {
+	n, mech := buildRP(t, 0.7, 0.02, 20000, traffic.Uniform)
+	_ = n.Run()
+	gatedCores := gating.CountGated(n.GatedMask())
+	parked := len(mech.ParkedIDs())
+	if parked > gatedCores {
+		t.Fatalf("parked %d > gated cores %d", parked, gatedCores)
+	}
+	t.Logf("gated cores %d, parked routers %d", gatedCores, parked)
+}

@@ -1,0 +1,90 @@
+package sim
+
+// Delay is an ordered delay queue: items pushed at cycle t with latency L
+// become visible at cycle t+L. It models a pipelined wire/FIFO between two
+// components. Because consumers can only observe items pushed on earlier
+// cycles, evaluation order between components within a cycle does not
+// matter, which gives the simulator register-transfer semantics.
+//
+// FIFO order is preserved even for items pushed on the same cycle, so a
+// control channel can rely on "credit then notice" ordering.
+type Delay[T any] struct {
+	latency int64
+	items   []timed[T]
+}
+
+type timed[T any] struct {
+	ready int64
+	v     T
+}
+
+// NewDelay returns a delay queue with the given latency in cycles.
+// Latency must be at least 1 to preserve order-independence.
+func NewDelay[T any](latency int) *Delay[T] {
+	if latency < 1 {
+		panic("sim: Delay latency must be >= 1")
+	}
+	return &Delay[T]{latency: int64(latency)}
+}
+
+// Push enqueues v at cycle now; it becomes visible at now+latency.
+func (d *Delay[T]) Push(now int64, v T) {
+	d.items = append(d.items, timed[T]{ready: now + d.latency, v: v})
+}
+
+// PushAfter enqueues v with an extra delay on top of the base latency.
+func (d *Delay[T]) PushAfter(now int64, extra int64, v T) {
+	d.items = append(d.items, timed[T]{ready: now + d.latency + extra, v: v})
+}
+
+// Ready reports whether an item is visible at cycle now.
+func (d *Delay[T]) Ready(now int64) bool {
+	return len(d.items) > 0 && d.items[0].ready <= now
+}
+
+// Pop removes and returns the front item if it is visible at cycle now.
+func (d *Delay[T]) Pop(now int64) (T, bool) {
+	var zero T
+	if !d.Ready(now) {
+		return zero, false
+	}
+	v := d.items[0].v
+	// Shift rather than reslice forever; the queue is short in practice.
+	copy(d.items, d.items[1:])
+	d.items = d.items[:len(d.items)-1]
+	return v, true
+}
+
+// PopAll removes and returns every item visible at cycle now, in order.
+func (d *Delay[T]) PopAll(now int64) []T {
+	var out []T
+	for d.Ready(now) {
+		v, _ := d.Pop(now)
+		out = append(out, v)
+	}
+	return out
+}
+
+// Drain visits every item visible at cycle now, in order, without
+// allocating a result slice.
+func (d *Delay[T]) Drain(now int64, fn func(T)) {
+	for d.Ready(now) {
+		v, _ := d.Pop(now)
+		fn(v)
+	}
+}
+
+// Each visits every queued item (visible or not), in order, without
+// removing anything. Used for consistency snapshots (e.g. counting
+// in-flight flits when synchronizing credits across a power transition).
+func (d *Delay[T]) Each(fn func(T)) {
+	for _, it := range d.items {
+		fn(it.v)
+	}
+}
+
+// Len returns the number of queued items (visible or not).
+func (d *Delay[T]) Len() int { return len(d.items) }
+
+// Empty reports whether no items are queued at all.
+func (d *Delay[T]) Empty() bool { return len(d.items) == 0 }

@@ -1,0 +1,61 @@
+package sim
+
+// Component is anything stepped by the kernel once per cycle.
+//
+// Within one cycle every component's Tick is called exactly once, in a
+// fixed registration order. Components must communicate with each other
+// exclusively through Delay queues (latency >= 1), which makes the
+// registration order unobservable.
+type Component interface {
+	// Tick advances the component by one cycle. now is the current cycle.
+	Tick(now int64)
+}
+
+// TickFunc adapts a plain function to the Component interface.
+type TickFunc func(now int64)
+
+// Tick calls f(now).
+func (f TickFunc) Tick(now int64) { f(now) }
+
+// Kernel drives a set of components through simulated cycles.
+type Kernel struct {
+	now        int64
+	components []Component
+}
+
+// NewKernel returns an empty kernel at cycle 0.
+func NewKernel() *Kernel { return &Kernel{} }
+
+// Register adds a component to the tick list.
+func (k *Kernel) Register(c Component) { k.components = append(k.components, c) }
+
+// Now returns the current cycle (the cycle about to be executed by Step).
+func (k *Kernel) Now() int64 { return k.now }
+
+// Step executes one cycle: every component ticks once.
+func (k *Kernel) Step() {
+	for _, c := range k.components {
+		c.Tick(k.now)
+	}
+	k.now++
+}
+
+// Run executes cycles until the predicate returns true or the cycle limit
+// is reached. It returns the cycle at which it stopped and whether the
+// predicate was satisfied. The predicate is checked before each cycle.
+func (k *Kernel) Run(limit int64, done func(now int64) bool) (int64, bool) {
+	for k.now < limit {
+		if done != nil && done(k.now) {
+			return k.now, true
+		}
+		k.Step()
+	}
+	return k.now, done != nil && done(k.now)
+}
+
+// RunFor executes exactly n cycles.
+func (k *Kernel) RunFor(n int64) {
+	for i := int64(0); i < n; i++ {
+		k.Step()
+	}
+}

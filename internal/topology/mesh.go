@@ -1,0 +1,202 @@
+// Package topology describes the 2D mesh topology used by the FLOV NoC:
+// node coordinates, port directions, neighbor arithmetic and the
+// always-on (AON) column that the FLOV routing algorithm relies on.
+package topology
+
+import "fmt"
+
+// Direction identifies a router port. The four cardinal directions index
+// inter-router links; Local is the network-interface (core) port.
+type Direction int
+
+// Port directions. The numeric order is load-bearing: it is used to index
+// per-port arrays everywhere in the simulator.
+const (
+	North Direction = iota
+	East
+	South
+	West
+	Local
+	NumPorts // number of ports on a mesh router
+)
+
+// NumLinkDirs is the number of inter-router link directions (excludes Local).
+const NumLinkDirs = 4
+
+// String returns a short human-readable name for the direction.
+func (d Direction) String() string {
+	switch d {
+	case North:
+		return "N"
+	case East:
+		return "E"
+	case South:
+		return "S"
+	case West:
+		return "W"
+	case Local:
+		return "L"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Opposite returns the direction a flit leaving through d arrives from at
+// the neighbor: North<->South, East<->West. It panics for Local.
+func (d Direction) Opposite() Direction {
+	switch d {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	}
+	panic("topology: Opposite of non-cardinal direction")
+}
+
+// IsVertical reports whether d runs along the Y dimension.
+func (d Direction) IsVertical() bool { return d == North || d == South }
+
+// Mesh is a W x H 2D mesh. Node ids are row-major: id = y*Width + x,
+// with x growing East and y growing North. Node 0 is the south-west corner.
+type Mesh struct {
+	Width  int
+	Height int
+}
+
+// NewMesh returns a mesh of the given dimensions. Width and Height must be
+// at least 2 so that every router has a neighbor in each dimension.
+func NewMesh(width, height int) (Mesh, error) {
+	if width < 2 || height < 2 {
+		return Mesh{}, fmt.Errorf("topology: mesh must be at least 2x2, got %dx%d", width, height)
+	}
+	return Mesh{Width: width, Height: height}, nil
+}
+
+// N returns the number of nodes.
+func (m Mesh) N() int { return m.Width * m.Height }
+
+// XY returns the coordinates of node id.
+func (m Mesh) XY(id int) (x, y int) { return id % m.Width, id / m.Width }
+
+// ID returns the node id at coordinates (x, y).
+func (m Mesh) ID(x, y int) int { return y*m.Width + x }
+
+// InBounds reports whether (x, y) is a valid coordinate.
+func (m Mesh) InBounds(x, y int) bool {
+	return x >= 0 && x < m.Width && y >= 0 && y < m.Height
+}
+
+// Neighbor returns the node id adjacent to id in direction d, or -1 if id
+// is on the mesh edge in that direction (or d is Local).
+func (m Mesh) Neighbor(id int, d Direction) int {
+	x, y := m.XY(id)
+	switch d {
+	case North:
+		y++
+	case South:
+		y--
+	case East:
+		x++
+	case West:
+		x--
+	default:
+		return -1
+	}
+	if !m.InBounds(x, y) {
+		return -1
+	}
+	return m.ID(x, y)
+}
+
+// HasNeighbor reports whether id has a neighbor in direction d.
+func (m Mesh) HasNeighbor(id int, d Direction) bool { return m.Neighbor(id, d) >= 0 }
+
+// DirectionTo returns the direction of the first hop from src toward dst
+// under pure dimension-order preference given (dx, dy) deltas; it is a
+// low-level helper — routing policy lives in package routing.
+func (m Mesh) DirectionTo(src, dst int, yFirst bool) Direction {
+	sx, sy := m.XY(src)
+	dx, dy := m.XY(dst)
+	if yFirst {
+		if dy > sy {
+			return North
+		}
+		if dy < sy {
+			return South
+		}
+	}
+	if dx > sx {
+		return East
+	}
+	if dx < sx {
+		return West
+	}
+	if dy > sy {
+		return North
+	}
+	if dy < sy {
+		return South
+	}
+	return Local
+}
+
+// IsCorner reports whether node id sits on a mesh corner.
+func (m Mesh) IsCorner(id int) bool {
+	x, y := m.XY(id)
+	return (x == 0 || x == m.Width-1) && (y == 0 || y == m.Height-1)
+}
+
+// IsEdge reports whether node id sits on the mesh boundary (including
+// corners).
+func (m Mesh) IsEdge(id int) bool {
+	x, y := m.XY(id)
+	return x == 0 || x == m.Width-1 || y == 0 || y == m.Height-1
+}
+
+// AONColumn returns the x coordinate of the always-on router column used
+// by the FLOV routing algorithm (the last/east-most column, per the paper).
+func (m Mesh) AONColumn() int { return m.Width - 1 }
+
+// InAONColumn reports whether node id is in the always-on column.
+func (m Mesh) InAONColumn(id int) bool {
+	x, _ := m.XY(id)
+	return x == m.AONColumn()
+}
+
+// Corners returns the four corner node ids (SW, SE, NW, NE), where the
+// paper's full-system configuration places the memory controllers.
+func (m Mesh) Corners() [4]int {
+	return [4]int{
+		m.ID(0, 0),
+		m.ID(m.Width-1, 0),
+		m.ID(0, m.Height-1),
+		m.ID(m.Width-1, m.Height-1),
+	}
+}
+
+// Hops returns the minimal hop count between two nodes.
+func (m Mesh) Hops(a, b int) int {
+	ax, ay := m.XY(a)
+	bx, by := m.XY(b)
+	return abs(ax-bx) + abs(ay-by)
+}
+
+// FLOVDims returns which dimensions of node id can host FLOV bypass links
+// when the router is power-gated: a dimension qualifies only if the router
+// has neighbors on both sides in that dimension (paper §III). Corner
+// routers have none and are simply isolated when gated.
+func (m Mesh) FLOVDims(id int) (xDim, yDim bool) {
+	x, y := m.XY(id)
+	return x > 0 && x < m.Width-1, y > 0 && y < m.Height-1
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

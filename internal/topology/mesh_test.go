@@ -1,0 +1,167 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mesh8(t *testing.T) Mesh {
+	t.Helper()
+	m, err := NewMesh(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMeshRejectsTiny(t *testing.T) {
+	for _, dims := range [][2]int{{1, 8}, {8, 1}, {0, 0}, {-3, 4}} {
+		if _, err := NewMesh(dims[0], dims[1]); err == nil {
+			t.Errorf("NewMesh(%d,%d) accepted", dims[0], dims[1])
+		}
+	}
+}
+
+func TestXYIDRoundTrip(t *testing.T) {
+	m := mesh8(t)
+	for id := 0; id < m.N(); id++ {
+		x, y := m.XY(id)
+		if m.ID(x, y) != id {
+			t.Fatalf("round trip failed for %d", id)
+		}
+	}
+}
+
+func TestDirectionOpposite(t *testing.T) {
+	pairs := map[Direction]Direction{North: South, South: North, East: West, West: East}
+	for d, o := range pairs {
+		if d.Opposite() != o {
+			t.Errorf("%v.Opposite() = %v", d, d.Opposite())
+		}
+	}
+}
+
+func TestOppositeLocalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Local.Opposite()
+}
+
+// Property: neighbor relation is symmetric with opposite directions.
+func TestNeighborSymmetry(t *testing.T) {
+	m := mesh8(t)
+	err := quick.Check(func(idRaw uint8, dRaw uint8) bool {
+		id := int(idRaw) % m.N()
+		d := Direction(dRaw % 4)
+		nb := m.Neighbor(id, d)
+		if nb < 0 {
+			return true
+		}
+		return m.Neighbor(nb, d.Opposite()) == id
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeighborEdges(t *testing.T) {
+	m := mesh8(t)
+	sw := m.ID(0, 0)
+	if m.Neighbor(sw, South) != -1 || m.Neighbor(sw, West) != -1 {
+		t.Fatal("south-west corner has southern/western neighbors")
+	}
+	if m.Neighbor(sw, North) != m.ID(0, 1) || m.Neighbor(sw, East) != m.ID(1, 0) {
+		t.Fatal("south-west corner neighbors wrong")
+	}
+	if m.Neighbor(sw, Local) != -1 {
+		t.Fatal("Local direction must have no neighbor")
+	}
+}
+
+func TestCornerEdgeClassification(t *testing.T) {
+	m := mesh8(t)
+	corners := m.Corners()
+	for _, c := range corners {
+		if !m.IsCorner(c) || !m.IsEdge(c) {
+			t.Errorf("corner %d misclassified", c)
+		}
+	}
+	if m.IsCorner(m.ID(3, 0)) {
+		t.Error("(3,0) is not a corner")
+	}
+	if !m.IsEdge(m.ID(3, 0)) {
+		t.Error("(3,0) is an edge")
+	}
+	if m.IsEdge(m.ID(3, 3)) {
+		t.Error("(3,3) is interior")
+	}
+}
+
+func TestAONColumn(t *testing.T) {
+	m := mesh8(t)
+	if m.AONColumn() != 7 {
+		t.Fatalf("AON column = %d", m.AONColumn())
+	}
+	if !m.InAONColumn(m.ID(7, 3)) || m.InAONColumn(m.ID(6, 3)) {
+		t.Fatal("InAONColumn wrong")
+	}
+}
+
+func TestFLOVDims(t *testing.T) {
+	m := mesh8(t)
+	cases := []struct {
+		x, y   int
+		fx, fy bool
+	}{
+		{0, 0, false, false}, // corner: no FLOV links
+		{3, 0, true, false},  // bottom edge: X only
+		{0, 3, false, true},  // left edge: Y only
+		{3, 3, true, true},   // interior: both
+		{7, 7, false, false}, // corner
+	}
+	for _, c := range cases {
+		fx, fy := m.FLOVDims(m.ID(c.x, c.y))
+		if fx != c.fx || fy != c.fy {
+			t.Errorf("FLOVDims(%d,%d) = %v,%v want %v,%v", c.x, c.y, fx, fy, c.fx, c.fy)
+		}
+	}
+}
+
+func TestHops(t *testing.T) {
+	m := mesh8(t)
+	if h := m.Hops(m.ID(0, 0), m.ID(7, 7)); h != 14 {
+		t.Fatalf("corner-to-corner hops = %d", h)
+	}
+	if h := m.Hops(5, 5); h != 0 {
+		t.Fatalf("self hops = %d", h)
+	}
+}
+
+// Property: DirectionTo always reduces distance (or is Local at dest).
+func TestDirectionToProgress(t *testing.T) {
+	m := mesh8(t)
+	err := quick.Check(func(a, b uint8) bool {
+		src, dst := int(a)%m.N(), int(b)%m.N()
+		d := m.DirectionTo(src, dst, true)
+		if src == dst {
+			return d == Local
+		}
+		nb := m.Neighbor(src, d)
+		return nb >= 0 && m.Hops(nb, dst) == m.Hops(src, dst)-1
+	}, &quick.Config{MaxCount: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	want := map[Direction]string{North: "N", East: "E", South: "S", West: "W", Local: "L"}
+	for d, s := range want {
+		if d.String() != s {
+			t.Errorf("%v.String() = %q", d, d.String())
+		}
+	}
+}

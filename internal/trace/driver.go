@@ -1,0 +1,263 @@
+package trace
+
+import (
+	"fmt"
+
+	"flov/internal/gating"
+	"flov/internal/network"
+	"flov/internal/noc"
+	"flov/internal/sim"
+)
+
+// Packet kinds used by the closed-loop protocol.
+const (
+	kindMCRequest uint8 = iota + 1
+	kindMCReply
+	kindPeerRequest
+	kindPeerReply
+)
+
+// Virtual networks, mirroring the MESI traffic classes of Table I:
+// requests, forwarded/cache-to-cache transfers, and data responses.
+const (
+	vnetRequest = 0
+	vnetForward = 1
+	vnetData    = 2
+)
+
+// coreState tracks one core's closed-loop execution.
+type coreState struct {
+	slots     []int64 // per-MSHR cycle at which the slot may issue again; -1 = request in flight
+	remaining int     // transactions left to issue this phase
+	inFlight  int
+}
+
+// pendingReply is a reply scheduled after MC/peer service latency.
+type pendingReply struct {
+	at  int64
+	src int // replying node
+	dst int
+	req uint64 // request packet id
+	mc  bool
+}
+
+// Outcome is what a full-system run produces for Figs. 8(c)/(d).
+type Outcome struct {
+	Benchmark    string
+	Mechanism    string
+	RuntimeCyc   int64
+	Transactions int64
+	// Energies in pJ over the whole run.
+	StaticPJ, DynamicPJ, TotalPJ float64
+	AvgPktLatency                float64
+	Completed                    bool
+}
+
+// String renders a one-line summary.
+func (o Outcome) String() string {
+	return fmt.Sprintf("%s/%s: runtime=%d cycles, txns=%d, Estat=%.2fuJ Edyn=%.2fuJ Etot=%.2fuJ, avgLat=%.1f",
+		o.Benchmark, o.Mechanism, o.RuntimeCyc, o.Transactions,
+		o.StaticPJ/1e6, o.DynamicPJ/1e6, o.TotalPJ/1e6, o.AvgPktLatency)
+}
+
+// Driver executes one benchmark profile on one network.
+type Driver struct {
+	net  *network.Network
+	prof Profile
+	rng  *sim.RNG
+
+	cores   []coreState
+	mcs     []int
+	mcSet   map[int]bool
+	replies []pendingReply
+	masks   [][]bool
+	phase   int
+	txns    int64
+
+	activeList []int
+}
+
+// NewDriver prepares a closed-loop run. The network must have been built
+// with a FullSystem-style config (3 vnets), no traffic generator, and no
+// schedule; the driver owns gating masks and injection.
+func NewDriver(n *network.Network, prof Profile, seed uint64) *Driver {
+	d := &Driver{
+		net:   n,
+		prof:  prof,
+		rng:   sim.NewRNG(seed ^ 0xfeedface),
+		cores: make([]coreState, n.Cfg.N()),
+		mcSet: make(map[int]bool),
+	}
+	corners := n.Mesh.Corners()
+	d.mcs = corners[:]
+	for _, mc := range d.mcs {
+		d.mcSet[mc] = true
+	}
+	// Pre-draw one gating mask per phase (MC corners protected).
+	for p := 0; p < prof.Phases; p++ {
+		mask := gating.FractionGated(n.Mesh, prof.GatedFraction, d.mcs, d.rng.Fork(uint64(p)+100))
+		d.masks = append(d.masks, mask)
+	}
+	for i := range n.NIs {
+		n.NIs[i].OnDeliver = d.onDeliver
+	}
+	n.InjectHook = d.tickInject
+	return d
+}
+
+// startPhase applies the phase mask and hands out per-core quotas.
+func (d *Driver) startPhase(p int) {
+	d.phase = p
+	d.net.SetGatingMask(d.masks[p])
+	d.activeList = d.activeList[:0]
+	for id := range d.cores {
+		c := &d.cores[id]
+		c.remaining = 0
+		if !d.masks[p][id] && !d.mcSet[id] {
+			c.remaining = d.prof.QuotaPerCore
+			c.slots = c.slots[:0]
+			for s := 0; s < d.prof.MSHRs; s++ {
+				c.slots = append(c.slots, d.net.Now()+int64(d.rng.Intn(d.prof.ThinkMean+1)))
+			}
+			d.activeList = append(d.activeList, id)
+		}
+	}
+}
+
+// phaseDone reports whether every active core finished its quota and has
+// no replies outstanding.
+func (d *Driver) phaseDone() bool {
+	for _, id := range d.activeList {
+		c := &d.cores[id]
+		if c.remaining > 0 || c.inFlight > 0 {
+			return false
+		}
+	}
+	return len(d.replies) == 0
+}
+
+// tickInject is called by the network each cycle: issue due requests and
+// inject due replies.
+func (d *Driver) tickInject(now int64) {
+	// MC/peer replies whose service latency elapsed.
+	kept := d.replies[:0]
+	for _, r := range d.replies {
+		if r.at > now {
+			kept = append(kept, r)
+			continue
+		}
+		kind, vnet := kindPeerReply, vnetForward
+		if r.mc {
+			kind, vnet = kindMCReply, vnetData
+		}
+		p := d.net.NewPacket(r.src, r.dst, vnet, d.prof.RespFlits)
+		p.Kind = kind
+		p.ReplyTo = r.req
+		d.net.NIs[r.src].Enqueue(p)
+	}
+	d.replies = kept
+
+	// Request issue from free MSHR slots.
+	for _, id := range d.activeList {
+		c := &d.cores[id]
+		if c.remaining <= 0 {
+			continue
+		}
+		for s := range c.slots {
+			if c.remaining <= 0 {
+				break
+			}
+			if c.slots[s] < 0 || c.slots[s] > now {
+				continue
+			}
+			var dst int
+			var kind uint8
+			if d.rng.Float64() < d.prof.MCFraction {
+				dst = d.mcs[d.rng.Intn(len(d.mcs))]
+				kind = kindMCRequest
+			} else {
+				dst = d.randomActivePeer(id)
+				if dst < 0 {
+					dst = d.mcs[d.rng.Intn(len(d.mcs))]
+					kind = kindMCRequest
+				} else {
+					kind = kindPeerRequest
+				}
+			}
+			p := d.net.NewPacket(id, dst, vnetRequest, d.prof.ReqFlits)
+			p.Kind = kind
+			d.net.NIs[id].Enqueue(p)
+			c.slots[s] = -1
+			c.remaining--
+			c.inFlight++
+		}
+	}
+}
+
+// randomActivePeer picks an active non-MC core other than id, or -1.
+func (d *Driver) randomActivePeer(id int) int {
+	if len(d.activeList) < 2 {
+		return -1
+	}
+	for i := 0; i < 8; i++ {
+		p := d.activeList[d.rng.Intn(len(d.activeList))]
+		if p != id {
+			return p
+		}
+	}
+	return -1
+}
+
+// onDeliver reacts to packet arrivals: requests schedule replies,
+// replies free MSHR slots.
+func (d *Driver) onDeliver(p *noc.Packet, now int64) {
+	switch p.Kind {
+	case kindMCRequest:
+		d.replies = append(d.replies, pendingReply{
+			at: now + int64(d.prof.MCServiceLat), src: p.Dst, dst: p.Src, req: p.ID, mc: true,
+		})
+	case kindPeerRequest:
+		d.replies = append(d.replies, pendingReply{
+			at: now + int64(d.prof.PeerServiceLat), src: p.Dst, dst: p.Src, req: p.ID, mc: false,
+		})
+	case kindMCReply, kindPeerReply:
+		c := &d.cores[p.Dst]
+		c.inFlight--
+		d.txns++
+		think := 1 + d.rng.Intn(2*d.prof.ThinkMean+1) // mean ~ ThinkMean
+		for s := range c.slots {
+			if c.slots[s] < 0 {
+				c.slots[s] = now + int64(think)
+				break
+			}
+		}
+	}
+}
+
+// Run executes all phases and returns the outcome. maxCycles bounds the
+// run; an incomplete outcome signals livelock (a test failure upstream).
+func (d *Driver) Run(maxCycles int64) Outcome {
+	d.net.Ledger.SetEnabled(true)
+	d.startPhase(0)
+	for d.net.Now() < maxCycles {
+		d.net.Step()
+		if d.phaseDone() {
+			if d.phase+1 >= d.prof.Phases {
+				break
+			}
+			d.startPhase(d.phase + 1)
+		}
+	}
+	done := d.phaseDone() && d.phase+1 >= d.prof.Phases
+	return Outcome{
+		Benchmark:     d.prof.Name,
+		Mechanism:     d.net.Mech.Name(),
+		RuntimeCyc:    d.net.Now(),
+		Transactions:  d.txns,
+		StaticPJ:      d.net.Ledger.StaticEnergyPJ(),
+		DynamicPJ:     d.net.Ledger.DynamicEnergyPJ(),
+		TotalPJ:       d.net.Ledger.TotalEnergyPJ(),
+		AvgPktLatency: d.net.Stats.AvgLatency(),
+		Completed:     done,
+	}
+}

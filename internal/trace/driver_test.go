@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"testing"
+
+	"flov/internal/config"
+	"flov/internal/core"
+	"flov/internal/network"
+	"flov/internal/rp"
+)
+
+// buildNet assembles a full-system network (3 vnets, no generator).
+func buildNet(t *testing.T, mech network.Mechanism) *network.Network {
+	t.Helper()
+	cfg := config.FullSystem()
+	cfg.WarmupCycles = 0
+	cfg.TotalCycles = 1 << 30 // the driver owns the loop
+	n, err := network.New(cfg, mech, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// shortProfile trims a profile for fast unit testing.
+func shortProfile() Profile {
+	p, _ := ProfileByName("bodytrack")
+	p.QuotaPerCore = 40
+	p.Phases = 2
+	return p
+}
+
+func TestDriverCompletesAllMechanisms(t *testing.T) {
+	mechs := map[string]func() network.Mechanism{
+		"baseline": func() network.Mechanism { return network.NewBaseline() },
+		"rp":       func() network.Mechanism { return rp.New() },
+		"rflov":    func() network.Mechanism { return core.NewRFLOV() },
+		"gflov":    func() network.Mechanism { return core.NewGFLOV() },
+	}
+	for name, mk := range mechs {
+		n := buildNet(t, mk())
+		d := NewDriver(n, shortProfile(), 11)
+		out := d.Run(3_000_000)
+		if !out.Completed {
+			t.Fatalf("%s: did not complete: %s", name, out)
+		}
+		if out.Transactions == 0 {
+			t.Fatalf("%s: no transactions", name)
+		}
+		t.Logf("%s: %s", name, out)
+	}
+}
+
+// Headline shape: gFLOV saves static energy vs both Baseline and RP, and
+// runtime degradation vs Baseline stays small.
+func TestHeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-system comparison")
+	}
+	prof := shortProfile()
+	prof.QuotaPerCore = 120
+
+	run := func(mech network.Mechanism) Outcome {
+		n := buildNet(t, mech)
+		return NewDriver(n, prof, 11).Run(10_000_000)
+	}
+	base := run(network.NewBaseline())
+	rpo := run(rp.New())
+	gf := run(core.NewGFLOV())
+	t.Logf("base: %s", base)
+	t.Logf("rp:   %s", rpo)
+	t.Logf("gflov:%s", gf)
+	if !base.Completed || !rpo.Completed || !gf.Completed {
+		t.Fatal("incomplete run")
+	}
+	if gf.StaticPJ >= base.StaticPJ {
+		t.Errorf("gFLOV static energy %.0f >= baseline %.0f", gf.StaticPJ, base.StaticPJ)
+	}
+	if gf.StaticPJ >= rpo.StaticPJ {
+		t.Errorf("gFLOV static energy %.0f >= RP %.0f", gf.StaticPJ, rpo.StaticPJ)
+	}
+	slowdown := float64(gf.RuntimeCyc)/float64(base.RuntimeCyc) - 1
+	if slowdown > 0.10 {
+		t.Errorf("gFLOV slowdown vs baseline too high: %.1f%%", slowdown*100)
+	}
+}

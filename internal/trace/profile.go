@@ -1,0 +1,80 @@
+// Package trace is the full-system (gem5 + PARSEC 2.1) substitute: a
+// closed-loop, finite-MSHR request/reply driver with per-benchmark
+// synthetic profiles.
+//
+// The paper's full-system results rest on two feedback paths that this
+// driver reproduces: (1) idle cores are power-gated by the OS, so routers
+// can gate too; (2) network latency feeds back into execution time
+// because each core tolerates only a few outstanding misses. Absolute
+// runtimes differ from gem5, but normalized energy/performance deltas
+// between mechanisms retain the paper's shape.
+//
+// Work is fixed: each benchmark runs a set number of phases, and in each
+// phase every active core completes a quota of memory transactions. The
+// core-gating mask is re-drawn at phase boundaries (thread consolidation
+// by the OS), which is exactly the event that forces Router Parking to
+// reconfigure and lets FLOV react locally.
+package trace
+
+// Profile characterizes one PARSEC-like benchmark.
+type Profile struct {
+	Name string
+
+	// GatedFraction of cores the OS keeps power-gated (thread
+	// consolidation); memory-controller corners are never gated.
+	GatedFraction float64
+
+	// MSHRs bounds outstanding requests per core.
+	MSHRs int
+
+	// ThinkMean is the mean compute gap (cycles) between completing one
+	// transaction and issuing the next from the same MSHR.
+	ThinkMean int
+
+	// MCFraction of requests go to memory controllers; the rest are
+	// cache-to-cache transfers to a random active peer.
+	MCFraction float64
+
+	// ReqFlits / RespFlits are packet sizes (control vs data).
+	ReqFlits, RespFlits int
+
+	// MCServiceLat / PeerServiceLat model DRAM access and remote-cache
+	// lookup latency between request delivery and reply injection.
+	MCServiceLat, PeerServiceLat int
+
+	// QuotaPerCore transactions per active core per phase.
+	QuotaPerCore int
+
+	// Phases of execution; the gating mask is re-drawn at each boundary.
+	Phases int
+}
+
+// Profiles returns the nine PARSEC 2.1 benchmarks the paper evaluates,
+// with communication characteristics set from their published behaviour:
+// blackscholes/swaptions are compute-bound with many idle cores, canneal
+// and ferret are communication-heavy, facesim and fluidanimate move large
+// data, x264 and bodytrack sit in between, dedup is bursty with moderate
+// sharing.
+func Profiles() []Profile {
+	return []Profile{
+		{Name: "blackscholes", GatedFraction: 0.60, MSHRs: 4, ThinkMean: 900, MCFraction: 0.30, ReqFlits: 1, RespFlits: 5, MCServiceLat: 40, PeerServiceLat: 12, QuotaPerCore: 80, Phases: 3},
+		{Name: "bodytrack", GatedFraction: 0.45, MSHRs: 6, ThinkMean: 600, MCFraction: 0.30, ReqFlits: 1, RespFlits: 5, MCServiceLat: 40, PeerServiceLat: 12, QuotaPerCore: 100, Phases: 3},
+		{Name: "canneal", GatedFraction: 0.30, MSHRs: 8, ThinkMean: 350, MCFraction: 0.40, ReqFlits: 1, RespFlits: 5, MCServiceLat: 45, PeerServiceLat: 12, QuotaPerCore: 140, Phases: 3},
+		{Name: "dedup", GatedFraction: 0.50, MSHRs: 6, ThinkMean: 500, MCFraction: 0.35, ReqFlits: 1, RespFlits: 5, MCServiceLat: 40, PeerServiceLat: 12, QuotaPerCore: 100, Phases: 4},
+		{Name: "facesim", GatedFraction: 0.40, MSHRs: 6, ThinkMean: 450, MCFraction: 0.35, ReqFlits: 1, RespFlits: 5, MCServiceLat: 50, PeerServiceLat: 14, QuotaPerCore: 120, Phases: 3},
+		{Name: "ferret", GatedFraction: 0.35, MSHRs: 8, ThinkMean: 400, MCFraction: 0.30, ReqFlits: 1, RespFlits: 5, MCServiceLat: 40, PeerServiceLat: 12, QuotaPerCore: 130, Phases: 3},
+		{Name: "fluidanimate", GatedFraction: 0.45, MSHRs: 6, ThinkMean: 550, MCFraction: 0.30, ReqFlits: 1, RespFlits: 5, MCServiceLat: 45, PeerServiceLat: 12, QuotaPerCore: 110, Phases: 3},
+		{Name: "swaptions", GatedFraction: 0.65, MSHRs: 4, ThinkMean: 1000, MCFraction: 0.30, ReqFlits: 1, RespFlits: 5, MCServiceLat: 40, PeerServiceLat: 12, QuotaPerCore: 70, Phases: 3},
+		{Name: "x264", GatedFraction: 0.40, MSHRs: 6, ThinkMean: 450, MCFraction: 0.35, ReqFlits: 1, RespFlits: 5, MCServiceLat: 40, PeerServiceLat: 12, QuotaPerCore: 120, Phases: 4},
+	}
+}
+
+// ProfileByName looks a profile up; ok is false when unknown.
+func ProfileByName(name string) (Profile, bool) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Profile{}, false
+}

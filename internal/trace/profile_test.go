@@ -1,0 +1,65 @@
+package trace
+
+import "testing"
+
+func TestNineBenchmarks(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 9 {
+		t.Fatalf("paper evaluates nine PARSEC benchmarks, got %d", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if seen[p.Name] {
+			t.Errorf("duplicate benchmark %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}
+
+func TestProfileSanity(t *testing.T) {
+	for _, p := range Profiles() {
+		if p.GatedFraction <= 0 || p.GatedFraction >= 1 {
+			t.Errorf("%s: gated fraction %v out of range", p.Name, p.GatedFraction)
+		}
+		if p.MSHRs < 1 || p.ThinkMean < 1 || p.QuotaPerCore < 1 || p.Phases < 1 {
+			t.Errorf("%s: degenerate workload parameters %+v", p.Name, p)
+		}
+		if p.MCFraction < 0 || p.MCFraction > 1 {
+			t.Errorf("%s: MC fraction %v out of range", p.Name, p.MCFraction)
+		}
+		if p.ReqFlits < 1 || p.RespFlits < 1 {
+			t.Errorf("%s: zero-size packets", p.Name)
+		}
+		if p.RespFlits <= p.ReqFlits {
+			t.Errorf("%s: data replies should outweigh control requests", p.Name)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	p, ok := ProfileByName("canneal")
+	if !ok || p.Name != "canneal" {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := ProfileByName("doom"); ok {
+		t.Fatal("unknown benchmark resolved")
+	}
+}
+
+func TestProfileDiversity(t *testing.T) {
+	// The evaluation depends on benchmarks spanning idle-heavy
+	// (blackscholes, swaptions) to communication-heavy (canneal, ferret);
+	// the spread is what makes the averaged headline numbers meaningful.
+	hi, lo := 0.0, 1.0
+	for _, p := range Profiles() {
+		if p.GatedFraction > hi {
+			hi = p.GatedFraction
+		}
+		if p.GatedFraction < lo {
+			lo = p.GatedFraction
+		}
+	}
+	if hi-lo < 0.2 {
+		t.Fatalf("gated fractions too uniform: [%v, %v]", lo, hi)
+	}
+}

@@ -1,0 +1,186 @@
+package traffic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"flov/internal/sim"
+	"flov/internal/topology"
+)
+
+func mesh8(t testing.TB) topology.Mesh {
+	t.Helper()
+	m, err := topology.NewMesh(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func allActive(n int) []bool {
+	a := make([]bool, n)
+	for i := range a {
+		a[i] = true
+	}
+	return a
+}
+
+func TestParsePattern(t *testing.T) {
+	cases := map[string]Pattern{
+		"uniform": Uniform, "UR": Uniform, "tornado": Tornado,
+		"transpose": Transpose, "bitcomp": BitComplement,
+		"neighbor": Neighbor, "hotspot": Hotspot,
+	}
+	for s, want := range cases {
+		got, err := ParsePattern(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePattern(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePattern("wat"); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+func TestUniformCoversActiveSet(t *testing.T) {
+	m := mesh8(t)
+	g := NewGenerator(Uniform, m, nil)
+	g.SetActive(allActive(m.N()))
+	rng := sim.NewRNG(3)
+	seen := map[int]bool{}
+	for i := 0; i < 20000; i++ {
+		d := g.Dest(0, rng)
+		if d == 0 || d < 0 {
+			t.Fatal("uniform returned self or none")
+		}
+		seen[d] = true
+	}
+	if len(seen) != m.N()-1 {
+		t.Fatalf("uniform covered %d/%d destinations", len(seen), m.N()-1)
+	}
+}
+
+func TestUniformRespectsGatedCores(t *testing.T) {
+	m := mesh8(t)
+	g := NewGenerator(Uniform, m, nil)
+	act := allActive(m.N())
+	for i := 10; i < 40; i++ {
+		act[i] = false
+	}
+	g.SetActive(act)
+	rng := sim.NewRNG(4)
+	for i := 0; i < 5000; i++ {
+		d := g.Dest(0, rng)
+		if d >= 10 && d < 40 {
+			t.Fatalf("uniform targeted gated core %d", d)
+		}
+	}
+}
+
+func TestTornadoFormula(t *testing.T) {
+	m := mesh8(t)
+	g := NewGenerator(Tornado, m, nil)
+	g.SetActive(allActive(m.N()))
+	rng := sim.NewRNG(5)
+	// From (2,3): (2 + 4 - 1) mod 8 = 5, same row.
+	if d := g.Dest(m.ID(2, 3), rng); d != m.ID(5, 3) {
+		t.Fatalf("tornado dest = %d", d)
+	}
+}
+
+func TestTornadoSkipsGatedPartner(t *testing.T) {
+	m := mesh8(t)
+	g := NewGenerator(Tornado, m, nil)
+	act := allActive(m.N())
+	act[m.ID(5, 3)] = false
+	g.SetActive(act)
+	if d := g.Dest(m.ID(2, 3), sim.NewRNG(1)); d != -1 {
+		t.Fatalf("tornado should skip gated partner, got %d", d)
+	}
+}
+
+func TestTransposeAndBitComplement(t *testing.T) {
+	m := mesh8(t)
+	rng := sim.NewRNG(6)
+	tr := NewGenerator(Transpose, m, nil)
+	tr.SetActive(allActive(m.N()))
+	if d := tr.Dest(m.ID(2, 5), rng); d != m.ID(5, 2) {
+		t.Fatalf("transpose dest = %d", d)
+	}
+	bc := NewGenerator(BitComplement, m, nil)
+	bc.SetActive(allActive(m.N()))
+	if d := bc.Dest(m.ID(2, 5), rng); d != m.ID(5, 2) {
+		t.Fatalf("bitcomp dest = %d", d)
+	}
+	if d := bc.Dest(m.ID(0, 0), rng); d != m.ID(7, 7) {
+		t.Fatalf("bitcomp corner dest = %d", d)
+	}
+}
+
+func TestNeighborPattern(t *testing.T) {
+	m := mesh8(t)
+	g := NewGenerator(Neighbor, m, nil)
+	g.SetActive(allActive(m.N()))
+	if d := g.Dest(m.ID(7, 0), sim.NewRNG(1)); d != m.ID(0, 0) {
+		t.Fatalf("neighbor wraps: got %d", d)
+	}
+}
+
+func TestHotspotTargetsOnlyHotspots(t *testing.T) {
+	m := mesh8(t)
+	hs := []int{m.ID(0, 0), m.ID(7, 7)}
+	g := NewGenerator(Hotspot, m, hs)
+	g.SetActive(allActive(m.N()))
+	rng := sim.NewRNG(8)
+	for i := 0; i < 1000; i++ {
+		d := g.Dest(5, rng)
+		if d != hs[0] && d != hs[1] {
+			t.Fatalf("hotspot dest = %d", d)
+		}
+	}
+}
+
+// Property: any generated destination is active and differs from src.
+func TestDestAlwaysValid(t *testing.T) {
+	m := mesh8(t)
+	rng := sim.NewRNG(9)
+	patterns := []Pattern{Uniform, Tornado, Transpose, BitComplement, Neighbor}
+	err := quick.Check(func(srcRaw uint8, gateBits uint64) bool {
+		src := int(srcRaw) % m.N()
+		act := make([]bool, m.N())
+		for i := range act {
+			act[i] = gateBits&(1<<(uint(i)%64)) == 0
+		}
+		act[src] = true
+		for _, p := range patterns {
+			g := NewGenerator(p, m, nil)
+			g.SetActive(act)
+			d := g.Dest(src, rng)
+			if d == -1 {
+				continue
+			}
+			if d == src || !act[d] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectorRate(t *testing.T) {
+	inj := NewInjector(0.08, 4, sim.NewRNG(10)) // 0.02 packets/cycle
+	hits := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if inj.ShouldInject() {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.018 || rate > 0.022 {
+		t.Fatalf("injector rate %.4f, want ~0.02", rate)
+	}
+}
