@@ -10,6 +10,7 @@
 package flov_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -196,6 +197,53 @@ func BenchmarkAblationIdleThreshold(b *testing.B) {
 		})
 	}
 }
+
+// benchSweepJobs is the fixed grid shared by the sweep-engine
+// benchmarks: all four mechanisms at two gated fractions.
+func benchSweepJobs(b *testing.B) []flov.SweepJob {
+	b.Helper()
+	cfg := flov.Default()
+	cfg.TotalCycles = 10_000
+	cfg.WarmupCycles = 1_000
+	var jobs []flov.SweepJob
+	for _, m := range flov.AllMechanisms() {
+		for _, frac := range []float64{0, 0.5} {
+			j, err := flov.SyntheticJob(flov.SyntheticOptions{
+				Config: cfg, Mechanism: m, Pattern: flov.Uniform,
+				InjRate: 0.02, GatedFraction: frac, GatedSeed: 42,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			jobs = append(jobs, j)
+		}
+	}
+	return jobs
+}
+
+func benchSweep(b *testing.B, workers int) {
+	jobs := benchSweepJobs(b)
+	for i := 0; i < b.N; i++ {
+		results, stats, err := flov.RunSweep(context.Background(), jobs,
+			flov.SweepOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Err != "" {
+				b.Fatal(r.Err)
+			}
+		}
+		b.ReportMetric(float64(stats.SimCycles)/1e6/stats.Wall.Seconds(), "Mcyc/s")
+	}
+}
+
+// BenchmarkSweepSequential runs the grid on one worker: the pre-engine
+// baseline the parallel speedup is measured against.
+func BenchmarkSweepSequential(b *testing.B) { benchSweep(b, 1) }
+
+// BenchmarkSweepParallel runs the same grid at GOMAXPROCS workers.
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, 0) }
 
 // BenchmarkScalingSweep runs the supplementary mesh-size scaling study
 // (4x4 through 16x16) and reports the RP and gFLOV latency penalties over

@@ -20,20 +20,55 @@ import (
 
 	"flov/internal/config"
 	"flov/internal/experiments"
+	"flov/internal/sweep"
 	"flov/internal/traffic"
 )
+
+// skipped collects failed sweep points across experiments; they are
+// reported once at the end instead of aborting whole figures.
+var skipped []string
+
+// skip records one failed point.
+func skip(figure, desc, err string) {
+	if i := strings.IndexByte(err, '\n'); i >= 0 {
+		err = err[:i]
+	}
+	skipped = append(skipped, fmt.Sprintf("%s: %s: %s", figure, desc, err))
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: table1|fig6|fig7|fig8ab|fig8cd|fig9|fig10|headline|saturation|ablation|scaling|all")
 	out := flag.String("out", "results", "output directory for CSV files")
 	quick := flag.Bool("quick", false, "reduced cycle counts (~5x faster)")
 	seed := flag.Uint64("seed", 42, "seed for gated-core draws")
+	workers := flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "sweep result cache directory (default $FLOV_SWEEP_CACHE or the user cache dir)")
+	noCache := flag.Bool("no-cache", false, "disable the sweep result cache")
+	progress := flag.Bool("progress", false, "print per-point progress to stderr")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}
-	o := experiments.Options{Quick: *quick, Seed: *seed}
+	engine := &sweep.Engine{Workers: *workers}
+	if !*noCache {
+		dir := *cacheDir
+		if dir == "" {
+			var err error
+			if dir, err = sweep.DefaultDir(); err != nil {
+				fatal(err)
+			}
+		}
+		cache, err := sweep.NewCache(dir)
+		if err != nil {
+			fatal(err)
+		}
+		engine.Cache = cache
+	}
+	if *progress {
+		engine.Progress = sweep.NewReporter(os.Stderr)
+	}
+	o := experiments.Options{Quick: *quick, Seed: *seed, Engine: engine}
 
 	run := func(name string, fn func() error) {
 		fmt.Printf("== %s ==\n", name)
@@ -79,6 +114,20 @@ func main() {
 	if want("fig8cd") || want("headline") {
 		run("Fig. 8 (c)/(d) + headline (PARSEC full-system)", func() error { return parsec(*out, o, want("fig8cd")) })
 	}
+
+	if engine.Cache != nil {
+		hits, misses, _ := engine.Cache.Counters()
+		if hits+misses > 0 {
+			fmt.Printf("sweep cache: %d hits, %d misses (%s)\n", hits, misses, engine.Cache.Dir())
+		}
+	}
+	if len(skipped) > 0 {
+		fmt.Fprintf(os.Stderr, "\n%d points skipped due to errors:\n", len(skipped))
+		for _, s := range skipped {
+			fmt.Fprintln(os.Stderr, " ", s)
+		}
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {
@@ -108,11 +157,27 @@ func table1(dir string) error {
 	return os.WriteFile(filepath.Join(dir, "table1.txt"), []byte(t), 0o644)
 }
 
+// liveSweepRows filters failed points out of a sweep, recording them in
+// the end-of-run skipped summary.
+func liveSweepRows(figure string, rows []experiments.SweepRow) []experiments.SweepRow {
+	live := make([]experiments.SweepRow, 0, len(rows))
+	for _, r := range rows {
+		if r.Err != "" {
+			skip(figure, fmt.Sprintf("%s/%s rate=%.3f gated=%.0f%%",
+				r.Pattern, r.Mechanism, r.Rate, r.Frac*100), r.Err)
+			continue
+		}
+		live = append(live, r)
+	}
+	return live
+}
+
 func latencyPower(dir, name string, p traffic.Pattern, o experiments.Options) error {
 	rows, err := experiments.LatencyPowerSweep(p, o)
 	if err != nil {
 		return err
 	}
+	rows = liveSweepRows(name, rows)
 	csv := [][]string{{"pattern", "rate", "gated_frac", "mechanism", "avg_latency", "dyn_power_w", "total_power_w", "static_power_w", "gated_routers", "packets"}}
 	for _, r := range rows {
 		csv = append(csv, []string{
@@ -164,6 +229,7 @@ func breakdown(dir string, o experiments.Options) error {
 		if err != nil {
 			return err
 		}
+		rows = liveSweepRows("fig8ab", rows)
 		fmt.Printf("-- %s latency breakdown (router/link/ser/flov/contention) --\n", p)
 		for _, r := range rows {
 			b := r.Breakdown
@@ -183,6 +249,7 @@ func staticPower(dir string, o experiments.Options) error {
 	if err != nil {
 		return err
 	}
+	rows = liveSweepRows("fig9", rows)
 	csv := [][]string{{"gated_frac", "mechanism", "static_power_w", "gated_routers"}}
 	for _, r := range rows {
 		csv = append(csv, []string{f(r.Frac), r.Mechanism, f(r.StaticPowerW), fmt.Sprint(r.GatedRouters)})
@@ -217,6 +284,7 @@ func saturation(dir string, o experiments.Options) error {
 	if err != nil {
 		return err
 	}
+	rows = liveSweepRows("saturation", rows)
 	csv := [][]string{{"rate", "mechanism", "avg_latency", "undelivered", "packets"}}
 	for _, r := range rows {
 		csv = append(csv, []string{f(r.Rate), r.Mechanism, f(r.AvgLatency), fmt.Sprint(r.Undelivered), fmt.Sprint(r.Packets)})
@@ -262,6 +330,10 @@ func ablation(dir string, o experiments.Options) error {
 			return err
 		}
 		for _, r := range rows {
+			if r.Err != "" {
+				skip("ablation", fmt.Sprintf("%s=%d", r.Param, r.Value), r.Err)
+				continue
+			}
 			csv = append(csv, []string{r.Param, fmt.Sprint(r.Value), r.Mechanism, f(r.AvgLatency), f(r.StaticW), f(r.TotalW), fmt.Sprint(r.GatedRout)})
 			fmt.Printf("%-20s = %-5d lat=%6.1f Pstat=%6.1fmW Ptot=%6.1fmW gated=%d\n",
 				r.Param, r.Value, r.AvgLatency, r.StaticW*1e3, r.TotalW*1e3, r.GatedRout)
@@ -278,6 +350,10 @@ func scaling(dir string, o experiments.Options) error {
 	csv := [][]string{{"width", "height", "mechanism", "avg_latency", "static_w", "total_w", "gated_routers", "undelivered"}}
 	fmt.Println("-- mesh scaling (uniform 0.02, 50% gated) --")
 	for _, r := range rows {
+		if r.Err != "" {
+			skip("scaling", fmt.Sprintf("%dx%d/%s", r.Width, r.Height, r.Mechanism), r.Err)
+			continue
+		}
 		csv = append(csv, []string{
 			fmt.Sprint(r.Width), fmt.Sprint(r.Height), r.Mechanism,
 			f(r.AvgLatency), f(r.StaticPowerW), f(r.TotalPowerW),
@@ -294,9 +370,17 @@ func parsec(dir string, o experiments.Options, writeRows bool) error {
 	if err != nil {
 		return err
 	}
+	for _, r := range rows {
+		if r.Err != "" {
+			skip("fig8cd", fmt.Sprintf("%s/%s", r.Benchmark, r.Mechanism), r.Err)
+		}
+	}
 	if writeRows {
 		csv := [][]string{{"benchmark", "mechanism", "runtime_cycles", "static_pj", "dynamic_pj", "total_pj", "norm_static", "norm_total", "norm_runtime"}}
 		for _, r := range rows {
+			if r.Err != "" {
+				continue
+			}
 			csv = append(csv, []string{
 				r.Benchmark, r.Mechanism, fmt.Sprint(r.RuntimeCyc),
 				f(r.StaticPJ), f(r.DynamicPJ), f(r.TotalPJ),
@@ -308,6 +392,9 @@ func parsec(dir string, o experiments.Options, writeRows bool) error {
 		}
 		fmt.Println("-- normalized static energy / runtime (vs Baseline) --")
 		for _, r := range rows {
+			if r.Err != "" {
+				continue
+			}
 			fmt.Printf("%-14s %-9s Estat=%.3f Etot=%.3f runtime=%.3f\n",
 				r.Benchmark, r.Mechanism, r.NormStatic, r.NormTotal, r.NormRuntime)
 		}

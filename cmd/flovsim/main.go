@@ -11,9 +11,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"flov"
 )
@@ -30,6 +32,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	bench := flag.String("bench", "", "run a PARSEC-substitute benchmark instead (e.g. canneal)")
 	table1 := flag.Bool("table1", false, "print the Table I configuration and exit")
+	jsonOut := flag.Bool("json", false, "emit the result as JSON (same row schema as flovsweep)")
 	showMap := flag.Bool("map", false, "print the final power-state and activity maps")
 	traceN := flag.Int("trace", 0, "record and print the last N simulator events")
 	flag.Parse()
@@ -50,9 +53,18 @@ func main() {
 	}
 
 	if *bench != "" {
+		start := time.Now()
 		out, err := flov.RunPARSEC(*bench, mech, *seed, 0)
 		if err != nil {
 			fatal(err)
+		}
+		if *jsonOut {
+			job, err := flov.PARSECJob(*bench, mech, *seed, 0)
+			if err != nil {
+				fatal(err)
+			}
+			printJSON(flov.SweepResult{Job: job, Out: out, Wall: time.Since(start)})
+			return
 		}
 		fmt.Println(out)
 		return
@@ -62,21 +74,34 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	n, err := flov.Build(flov.SyntheticOptions{
+	opts := flov.SyntheticOptions{
 		Config:        cfg,
 		Mechanism:     mech,
 		Pattern:       pat,
 		InjRate:       *rate,
 		GatedFraction: *gated,
 		GatedSeed:     *seed,
-	})
+	}
+	n, err := flov.Build(opts)
 	if err != nil {
 		fatal(err)
 	}
 	if *traceN > 0 {
 		n.EnableTrace(flov.NewTraceLog(*traceN))
 	}
+	start := time.Now()
 	res := n.Run()
+	if *jsonOut {
+		job, err := flov.SyntheticJob(opts)
+		if err != nil {
+			fatal(err)
+		}
+		printJSON(flov.SweepResult{Job: job, Res: res, Wall: time.Since(start)})
+		if res.Undelivered != 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Println(res)
 	b := res.Breakdown
 	fmt.Printf("latency breakdown: router=%.1f link=%.1f serialization=%.1f flov=%.1f contention=%.1f\n",
@@ -99,6 +124,15 @@ func main() {
 	if res.Undelivered != 0 {
 		fmt.Printf("WARNING: %d flits undelivered\n", res.Undelivered)
 		os.Exit(1)
+	}
+}
+
+// printJSON writes one sweep-schema row to stdout.
+func printJSON(r flov.SweepResult) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(r); err != nil {
+		fatal(err)
 	}
 }
 

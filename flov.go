@@ -21,16 +21,18 @@
 package flov
 
 import (
+	"context"
 	"fmt"
+	"io"
+	"time"
 
 	"flov/internal/config"
-	"flov/internal/core"
 	"flov/internal/gating"
 	"flov/internal/network"
 	"flov/internal/nlog"
-	"flov/internal/rp"
 	"flov/internal/sim"
 	"flov/internal/stats"
+	"flov/internal/sweep"
 	"flov/internal/topology"
 	"flov/internal/trace"
 	"flov/internal/traffic"
@@ -126,19 +128,7 @@ func ParsePattern(s string) (Pattern, error) { return traffic.ParsePattern(s) }
 func AllMechanisms() []Mechanism { return config.Mechanisms() }
 
 // NewMechanism instantiates the controller for a mechanism.
-func NewMechanism(m Mechanism) (network.Mechanism, error) {
-	switch m {
-	case Baseline:
-		return network.NewBaseline(), nil
-	case RP:
-		return rp.New(), nil
-	case RFLOV:
-		return core.NewRFLOV(), nil
-	case GFLOV:
-		return core.NewGFLOV(), nil
-	}
-	return nil, fmt.Errorf("flov: unknown mechanism %v", m)
-}
+func NewMechanism(m Mechanism) (network.Mechanism, error) { return sweep.NewMechanism(m) }
 
 // SyntheticOptions parameterizes a synthetic-workload run.
 type SyntheticOptions struct {
@@ -253,4 +243,112 @@ func RunProfile(prof Profile, m Mechanism, seed uint64, maxCycles int64) (Outcom
 		return out, fmt.Errorf("flov: benchmark %s/%v did not complete within %d cycles", prof.Name, m, maxCycles)
 	}
 	return out, nil
+}
+
+// Sweep engine types, re-exported for design-space exploration at scale.
+// A sweep fans independent simulation points across a worker pool with
+// content-addressed result caching; see cmd/flovsweep for the CLI.
+type (
+	// SweepJob fully describes one simulation point and hashes canonically.
+	SweepJob = sweep.Job
+	// SweepResult is one finished point (result or error, never both).
+	SweepResult = sweep.Result
+	// SweepSpec is the declarative grid description cmd/flovsweep accepts.
+	SweepSpec = sweep.Spec
+	// SweepStats aggregates a finished sweep (cache hits, throughput).
+	SweepStats = sweep.Stats
+	// SweepEvent is one job-lifecycle progress notification.
+	SweepEvent = sweep.Event
+	// SweepProgress observes sweep execution from worker goroutines.
+	SweepProgress = sweep.Progress
+)
+
+// Sweep job kinds.
+const (
+	SweepSynthetic = sweep.Synthetic
+	SweepPARSEC    = sweep.PARSEC
+)
+
+// SweepOptions configures RunSweep.
+type SweepOptions struct {
+	// Workers caps the pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// CacheDir enables the on-disk result cache rooted there; "" runs
+	// uncached. DefaultSweepCacheDir returns the conventional location.
+	CacheDir string
+	// Progress, when non-nil, receives per-job events (NewSweepReporter
+	// for a terminal ticker). Must be safe for concurrent use.
+	Progress SweepProgress
+}
+
+// DefaultSweepCacheDir returns the shared sweep cache location:
+// $FLOV_SWEEP_CACHE if set, else <user-cache-dir>/flov-sweep.
+func DefaultSweepCacheDir() (string, error) { return sweep.DefaultDir() }
+
+// NewSweepReporter returns a terminal progress observer writing one line
+// per finished job to w.
+func NewSweepReporter(w io.Writer) SweepProgress { return sweep.NewReporter(w) }
+
+// RunSweep executes the jobs across a worker pool and returns one result
+// per job in job order, plus aggregate stats. Individual point failures
+// (including panics inside the simulator) become error-carrying results;
+// the error return covers setup problems only (an unusable cache dir).
+// Cancelling ctx stops scheduling new points; points already running
+// finish.
+func RunSweep(ctx context.Context, jobs []SweepJob, o SweepOptions) ([]SweepResult, SweepStats, error) {
+	e := &sweep.Engine{Workers: o.Workers, Progress: o.Progress}
+	if o.CacheDir != "" {
+		c, err := sweep.NewCache(o.CacheDir)
+		if err != nil {
+			return nil, SweepStats{}, err
+		}
+		e.Cache = c
+	}
+	start := time.Now()
+	results := e.Run(ctx, jobs)
+	return results, sweep.Summarize(results, time.Since(start)), nil
+}
+
+// SyntheticJob converts SyntheticOptions into a cacheable sweep job with
+// the same semantics as RunSynthetic. Options carrying a Schedule are
+// not representable as jobs (time-varying masks are not hashed); use
+// Build for those.
+func SyntheticJob(o SyntheticOptions) (SweepJob, error) {
+	if o.Schedule != nil {
+		return SweepJob{}, fmt.Errorf("flov: schedules are not supported in sweep jobs; use Build")
+	}
+	cfg := o.normalizedConfig()
+	cfg.Mechanism = o.Mechanism
+	return SweepJob{
+		Kind:      SweepSynthetic,
+		Config:    cfg,
+		Pattern:   o.Pattern,
+		Rate:      o.InjRate,
+		Frac:      o.GatedFraction,
+		Mechanism: o.Mechanism,
+		MaskSeed:  o.GatedSeed ^ 0xabcd, // Build's derivation: same point, same hash
+		Protect:   o.Protect,
+		Hotspots:  o.Hotspots,
+	}, nil
+}
+
+// PARSECJob converts a RunPARSEC invocation into a cacheable sweep job
+// with identical semantics.
+func PARSECJob(benchmark string, m Mechanism, seed uint64, maxCycles int64) (SweepJob, error) {
+	prof, ok := trace.ProfileByName(benchmark)
+	if !ok {
+		return SweepJob{}, fmt.Errorf("flov: unknown benchmark %q", benchmark)
+	}
+	cfg := FullSystem()
+	cfg.WarmupCycles = 0
+	cfg.TotalCycles = 1 << 40
+	cfg.Mechanism = m
+	return SweepJob{
+		Kind:      SweepPARSEC,
+		Config:    cfg,
+		Mechanism: m,
+		Profile:   prof,
+		Seed:      seed,
+		MaxCycles: maxCycles,
+	}, nil
 }

@@ -1,6 +1,10 @@
 package flov_test
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"reflect"
 	"testing"
 
 	"flov"
@@ -26,6 +30,45 @@ func TestPublicAPISyntheticRun(t *testing.T) {
 	}
 	if res.GatedRouters == 0 {
 		t.Fatal("no routers gated at 50%")
+	}
+}
+
+// TestRunSyntheticDeterministic is the contract the sweep cache depends
+// on: the same seed and config must produce byte-identical results on
+// every run.
+func TestRunSyntheticDeterministic(t *testing.T) {
+	cfg := flov.Default()
+	cfg.TotalCycles = 10_000
+	cfg.WarmupCycles = 1_000
+	opts := flov.SyntheticOptions{
+		Config:        cfg,
+		Mechanism:     flov.GFLOV,
+		Pattern:       flov.Uniform,
+		InjRate:       0.02,
+		GatedFraction: 0.5,
+		GatedSeed:     7,
+	}
+	a, err := flov.RunSynthetic(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := flov.RunSynthetic(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("repeated runs differ:\n  first:  %+v\n  second: %+v", a, b)
+	}
+	ja, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ja, jb) {
+		t.Fatal("repeated runs serialize differently")
 	}
 }
 
@@ -135,6 +178,48 @@ func TestPublicAPIRunPARSEC(t *testing.T) {
 func TestPublicAPIRunPARSECUnknown(t *testing.T) {
 	if _, err := flov.RunPARSEC("nope", flov.GFLOV, 1, 0); err == nil {
 		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+// TestPublicAPIRunSweep covers the exported sweep surface: job
+// construction, the pool, caching and the stats summary.
+func TestPublicAPIRunSweep(t *testing.T) {
+	cfg := flov.Default()
+	cfg.TotalCycles = 6_000
+	cfg.WarmupCycles = 600
+	var jobs []flov.SweepJob
+	for _, m := range flov.AllMechanisms() {
+		j, err := flov.SyntheticJob(flov.SyntheticOptions{
+			Config: cfg, Mechanism: m, Pattern: flov.Uniform,
+			InjRate: 0.02, GatedFraction: 0.5, GatedSeed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	o := flov.SweepOptions{Workers: 2, CacheDir: t.TempDir()}
+	results, stats, err := flov.RunSweep(context.Background(), jobs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Jobs != len(jobs) || stats.Errors != 0 {
+		t.Fatalf("bad stats: %+v", stats)
+	}
+	for i, r := range results {
+		if r.Err != "" {
+			t.Fatalf("job %d failed: %s", i, r.Err)
+		}
+		if r.Res.Packets == 0 {
+			t.Fatalf("job %d produced no packets", i)
+		}
+	}
+	_, again, err := flov.RunSweep(context.Background(), jobs, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.CacheHits != len(jobs) {
+		t.Fatalf("second run hit cache %d/%d times", again.CacheHits, len(jobs))
 	}
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"flov/internal/config"
@@ -8,6 +9,7 @@ import (
 	"flov/internal/gating"
 	"flov/internal/network"
 	"flov/internal/sim"
+	"flov/internal/sweep"
 	"flov/internal/topology"
 	"flov/internal/traffic"
 )
@@ -23,23 +25,13 @@ var SaturationRates = []float64{0.02, 0.06, 0.10, 0.14, 0.18, 0.22, 0.26, 0.30}
 // some flits may remain undelivered at the drain deadline — that IS the
 // signal).
 func SaturationSweep(pattern traffic.Pattern, frac float64, o Options) ([]SweepRow, error) {
-	var rows []SweepRow
+	var jobs []sweep.Job
 	for _, rate := range SaturationRates {
 		for _, m := range config.Mechanisms() {
-			r, err := buildAndRunTolerant(pattern, rate, frac, m, o)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, r)
+			jobs = append(jobs, o.job(pattern, rate, frac, m))
 		}
 	}
-	return rows, nil
-}
-
-// buildAndRunTolerant is buildAndRun without the implicit expectation of
-// full delivery: above saturation, undelivered flits are expected.
-func buildAndRunTolerant(pattern traffic.Pattern, rate, frac float64, mech config.Mechanism, o Options) (SweepRow, error) {
-	return buildAndRun(pattern, rate, frac, mech, o)
+	return runJobs(o, jobs), nil
 }
 
 // AblationParam selects a design knob to sweep (the design choices
@@ -109,6 +101,28 @@ type AblationRow struct {
 	StaticW    float64
 	TotalW     float64
 	GatedRout  int
+	// Err marks a failed point; measurements are zero.
+	Err string
+}
+
+// ablatedConfig applies one knob value to a standard experiment config.
+func ablatedConfig(p AblationParam, v int, o Options) config.Config {
+	cfg := config.Default()
+	cfg.WarmupCycles, cfg.TotalCycles = o.cycles()
+	cfg.Seed = o.Seed + 1
+	switch p {
+	case AblEscapeTimeout:
+		cfg.EscapeTimeout = v
+	case AblWakeupLatency:
+		cfg.WakeupLatency = v
+	case AblIdleThreshold:
+		cfg.IdleThreshold = v
+	case AblBufferDepth:
+		cfg.BufferDepth = v
+	case AblTransitionTimeout:
+		cfg.TransitionTimeout = v
+	}
+	return cfg
 }
 
 // Ablate sweeps one design knob for gFLOV under uniform random traffic at
@@ -118,36 +132,24 @@ func Ablate(p AblationParam, values []int, o Options) ([]AblationRow, error) {
 	if values == nil {
 		values = DefaultAblationValues(p)
 	}
-	var rows []AblationRow
-	for _, v := range values {
-		cfg := config.Default()
-		cfg.WarmupCycles, cfg.TotalCycles = o.cycles()
-		cfg.Seed = o.Seed + 1
-		switch p {
-		case AblEscapeTimeout:
-			cfg.EscapeTimeout = v
-		case AblWakeupLatency:
-			cfg.WakeupLatency = v
-		case AblIdleThreshold:
-			cfg.IdleThreshold = v
-		case AblBufferDepth:
-			cfg.BufferDepth = v
-		case AblTransitionTimeout:
-			cfg.TransitionTimeout = v
-		}
-		r, err := runWithConfig(cfg, traffic.Uniform, 0.02, 0.5, config.GFLOV, o)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{
+	jobs := make([]sweep.Job, len(values))
+	for i, v := range values {
+		jobs[i] = o.jobWithConfig(ablatedConfig(p, v, o), traffic.Uniform, 0.02, 0.5, config.GFLOV)
+	}
+	results := o.engine().Run(context.Background(), jobs)
+	rows := make([]AblationRow, len(results))
+	for i, res := range results {
+		r := rowFromResult(res)
+		rows[i] = AblationRow{
 			Param:      p.String(),
-			Value:      v,
+			Value:      values[i],
 			Mechanism:  r.Mechanism,
 			AvgLatency: r.AvgLatency,
 			StaticW:    r.StaticPowerW,
 			TotalW:     r.TotalPowerW,
 			GatedRout:  r.GatedRouters,
-		})
+			Err:        r.Err,
+		}
 	}
 	return rows, nil
 }
@@ -174,21 +176,7 @@ func AblateUnderChurn(p AblationParam, values []int, period int64, o Options) ([
 	}
 	var rows []ChurnAblationRow
 	for _, v := range values {
-		cfg := config.Default()
-		cfg.WarmupCycles, cfg.TotalCycles = o.cycles()
-		cfg.Seed = o.Seed + 1
-		switch p {
-		case AblEscapeTimeout:
-			cfg.EscapeTimeout = v
-		case AblWakeupLatency:
-			cfg.WakeupLatency = v
-		case AblIdleThreshold:
-			cfg.IdleThreshold = v
-		case AblBufferDepth:
-			cfg.BufferDepth = v
-		case AblTransitionTimeout:
-			cfg.TransitionTimeout = v
-		}
+		cfg := ablatedConfig(p, v, o)
 		mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"flov/internal/config"
+	"flov/internal/sweep"
+	"flov/internal/traffic"
+)
+
+// TestEngineRowsMatchSequentialReference pins the engine rewiring to the
+// original sequential implementation: the same grid, fanned out across
+// the worker pool, must produce rows identical in order and value to
+// running buildAndRun point by point.
+func TestEngineRowsMatchSequentialReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a reduced sweep grid twice")
+	}
+	o := Options{Quick: true, Seed: 42, Engine: &sweep.Engine{Workers: 8}}
+
+	// Reduced grid in LatencyPowerSweep order: rate x frac x mechanism.
+	rates := []float64{0.02}
+	fracs := []float64{0, 0.5}
+
+	var jobs []sweep.Job
+	var want []SweepRow
+	for _, rate := range rates {
+		for _, frac := range fracs {
+			for _, m := range config.Mechanisms() {
+				jobs = append(jobs, o.job(traffic.Uniform, rate, frac, m))
+				row, err := buildAndRun(traffic.Uniform, rate, frac, m, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, row)
+			}
+		}
+	}
+
+	got := runJobs(o, jobs)
+	if len(got) != len(want) {
+		t.Fatalf("engine returned %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("row %d differs:\n  engine:     %+v\n  sequential: %+v", i, got[i], want[i])
+		}
+	}
+}

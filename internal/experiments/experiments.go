@@ -7,25 +7,36 @@
 package experiments
 
 import (
-	"fmt"
+	"context"
 
 	"flov/internal/config"
-	"flov/internal/core"
 	"flov/internal/gating"
 	"flov/internal/network"
-	"flov/internal/rp"
 	"flov/internal/sim"
 	"flov/internal/stats"
+	"flov/internal/sweep"
 	"flov/internal/topology"
 	"flov/internal/traffic"
 )
 
-// Options control experiment scale.
+// Options control experiment scale and execution.
 type Options struct {
 	// Quick shrinks cycle counts ~5x for smoke runs and -short tests.
 	Quick bool
 	// Seed for gated-set draws (identical across mechanisms).
 	Seed uint64
+	// Engine runs the sweep points; nil means a default parallel engine
+	// (GOMAXPROCS workers, no cache). cmd/figures wires in caching and
+	// progress reporting here.
+	Engine *sweep.Engine
+}
+
+// engine returns the configured engine or a default parallel one.
+func (o Options) engine() *sweep.Engine {
+	if o.Engine != nil {
+		return o.Engine
+	}
+	return &sweep.Engine{}
 }
 
 // cycles returns (warmup, total) for synthetic runs.
@@ -58,9 +69,79 @@ type SweepRow struct {
 	Packets        int64
 	Undelivered    int64
 	EscapeFraction float64
+
+	// Err marks a failed point (simulator error or panic). The row keeps
+	// its identifying fields so figures can report what was skipped; the
+	// measurements are zero.
+	Err string
 }
 
-// buildAndRun assembles one synthetic configuration and runs it.
+// job builds the sweep job for one synthetic point with the standard
+// experiment config (o.cycles scale, seed derivation shared with the
+// sequential reference path below).
+func (o Options) job(pattern traffic.Pattern, rate, frac float64, mech config.Mechanism) sweep.Job {
+	cfg := config.Default()
+	cfg.WarmupCycles, cfg.TotalCycles = o.cycles()
+	cfg.Seed = o.Seed + 1
+	return o.jobWithConfig(cfg, pattern, rate, frac, mech)
+}
+
+// jobWithConfig builds a job around an explicit config (ablation sweeps
+// tweak individual knobs).
+func (o Options) jobWithConfig(cfg config.Config, pattern traffic.Pattern, rate, frac float64, mech config.Mechanism) sweep.Job {
+	cfg.Mechanism = mech
+	return sweep.Job{
+		Kind:      sweep.Synthetic,
+		Config:    cfg,
+		Pattern:   pattern,
+		Rate:      rate,
+		Frac:      frac,
+		Mechanism: mech,
+		MaskSeed:  o.Seed ^ 0x5eed,
+	}
+}
+
+// runJobs fans the jobs through the engine and converts results to rows.
+// Individual point failures become error-carrying rows, not a sweep
+// abort.
+func runJobs(o Options, jobs []sweep.Job) []SweepRow {
+	results := o.engine().Run(context.Background(), jobs)
+	rows := make([]SweepRow, len(results))
+	for i, r := range results {
+		rows[i] = rowFromResult(r)
+	}
+	return rows
+}
+
+// rowFromResult flattens one engine result into a SweepRow.
+func rowFromResult(r sweep.Result) SweepRow {
+	row := SweepRow{
+		Pattern:   r.Job.Pattern.String(),
+		Rate:      r.Job.Rate,
+		Frac:      r.Job.Frac,
+		Mechanism: r.Job.Mechanism.String(),
+		Err:       r.Err,
+	}
+	if r.Err != "" {
+		return row
+	}
+	res := r.Res
+	row.AvgLatency = res.AvgLatency
+	row.StaticPowerW = res.StaticPowerW
+	row.DynamicPowerW = res.DynamicPowerW
+	row.TotalPowerW = res.TotalPowerW
+	row.Breakdown = res.Breakdown
+	row.GatedRouters = res.GatedRouters
+	row.Packets = res.Packets
+	row.Undelivered = res.Undelivered
+	row.EscapeFraction = res.EscapeFrac
+	return row
+}
+
+// buildAndRun assembles one synthetic configuration and runs it in the
+// calling goroutine. It is the sequential reference implementation the
+// engine path is tested against (and what the shape tests use for
+// single points).
 func buildAndRun(pattern traffic.Pattern, rate, frac float64, mech config.Mechanism, o Options) (SweepRow, error) {
 	cfg := config.Default()
 	cfg.WarmupCycles, cfg.TotalCycles = o.cycles()
@@ -68,8 +149,8 @@ func buildAndRun(pattern traffic.Pattern, rate, frac float64, mech config.Mechan
 	return runWithConfig(cfg, pattern, rate, frac, mech, o)
 }
 
-// runWithConfig runs one synthetic experiment with an explicit config
-// (ablation sweeps tweak individual knobs).
+// runWithConfig runs one synthetic experiment sequentially with an
+// explicit config.
 func runWithConfig(cfg config.Config, pattern traffic.Pattern, rate, frac float64, mech config.Mechanism, o Options) (SweepRow, error) {
 	mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
 	if err != nil {
@@ -77,7 +158,7 @@ func runWithConfig(cfg config.Config, pattern traffic.Pattern, rate, frac float6
 	}
 	mask := gating.FractionGated(mesh, frac, nil, sim.NewRNG(o.Seed^0x5eed))
 	gen := traffic.NewGenerator(pattern, mesh, nil)
-	m, err := newMech(mech)
+	m, err := sweep.NewMechanism(mech)
 	if err != nil {
 		return SweepRow{}, err
 	}
@@ -103,69 +184,42 @@ func runWithConfig(cfg config.Config, pattern traffic.Pattern, rate, frac float6
 	}, nil
 }
 
-// newMech instantiates the controller for a mechanism.
-func newMech(m config.Mechanism) (network.Mechanism, error) {
-	switch m {
-	case config.Baseline:
-		return network.NewBaseline(), nil
-	case config.RP:
-		return rp.New(), nil
-	case config.RFLOV:
-		return core.NewRFLOV(), nil
-	case config.GFLOV:
-		return core.NewGFLOV(), nil
-	}
-	return nil, fmt.Errorf("experiments: unknown mechanism %v", m)
-}
-
 // LatencyPowerSweep reproduces Fig. 6 (uniform) or Fig. 7 (tornado): the
 // full rate x fraction x mechanism grid with latency, dynamic and total
-// power.
+// power, fanned out across the engine's worker pool.
 func LatencyPowerSweep(pattern traffic.Pattern, o Options) ([]SweepRow, error) {
-	var rows []SweepRow
+	var jobs []sweep.Job
 	for _, rate := range DefaultRates {
 		for _, frac := range DefaultFractions {
 			for _, m := range config.Mechanisms() {
-				r, err := buildAndRun(pattern, rate, frac, m, o)
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, r)
+				jobs = append(jobs, o.job(pattern, rate, frac, m))
 			}
 		}
 	}
-	return rows, nil
+	return runJobs(o, jobs), nil
 }
 
 // BreakdownSweep reproduces Fig. 8 (a)/(b): the latency decomposition at
 // 0.02 flits/cycle/node across the gated-core sweep.
 func BreakdownSweep(pattern traffic.Pattern, o Options) ([]SweepRow, error) {
-	var rows []SweepRow
+	var jobs []sweep.Job
 	for _, frac := range DefaultFractions {
 		for _, m := range config.Mechanisms() {
-			r, err := buildAndRun(pattern, 0.02, frac, m, o)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, r)
+			jobs = append(jobs, o.job(pattern, 0.02, frac, m))
 		}
 	}
-	return rows, nil
+	return runJobs(o, jobs), nil
 }
 
 // StaticPowerSweep reproduces Fig. 9: static power vs gated fraction per
 // mechanism. Static power is workload independent for FLOV (the paper's
 // observation), so a light uniform load suffices to settle power states.
 func StaticPowerSweep(o Options) ([]SweepRow, error) {
-	var rows []SweepRow
+	var jobs []sweep.Job
 	for _, frac := range DefaultFractions {
 		for _, m := range config.Mechanisms() {
-			r, err := buildAndRun(traffic.Uniform, 0.02, frac, m, o)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, r)
+			jobs = append(jobs, o.job(traffic.Uniform, 0.02, frac, m))
 		}
 	}
-	return rows, nil
+	return runJobs(o, jobs), nil
 }

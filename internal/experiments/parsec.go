@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"flov/internal/config"
-	"flov/internal/network"
+	"flov/internal/sweep"
 	"flov/internal/trace"
 )
 
@@ -23,10 +25,15 @@ type ParsecRow struct {
 	NormStatic  float64
 	NormTotal   float64
 	NormRuntime float64
+
+	// Err marks a failed point (or a point whose Baseline reference
+	// failed, leaving the norm columns zero).
+	Err string
 }
 
-// RunParsecBenchmark runs one benchmark under one mechanism.
-func RunParsecBenchmark(prof trace.Profile, mech config.Mechanism, o Options) (trace.Outcome, error) {
+// parsecJob builds the engine job for one benchmark x mechanism cell,
+// applying the Quick profile reductions.
+func parsecJob(prof trace.Profile, mech config.Mechanism, o Options) sweep.Job {
 	if o.Quick {
 		prof.QuotaPerCore /= 4
 		if prof.QuotaPerCore < 10 {
@@ -40,49 +47,70 @@ func RunParsecBenchmark(prof trace.Profile, mech config.Mechanism, o Options) (t
 	cfg.WarmupCycles = 0
 	cfg.TotalCycles = 1 << 40
 	cfg.Seed = o.Seed + 1
-	m, err := newMech(mech)
-	if err != nil {
-		return trace.Outcome{}, err
+	cfg.Mechanism = mech
+	return sweep.Job{
+		Kind:      sweep.PARSEC,
+		Config:    cfg,
+		Mechanism: mech,
+		Profile:   prof,
+		Seed:      o.Seed + 7,
+		MaxCycles: 50_000_000,
 	}
-	n, err := network.New(cfg, m, nil, nil, 0)
-	if err != nil {
-		return trace.Outcome{}, err
+}
+
+// RunParsecBenchmark runs one benchmark under one mechanism.
+func RunParsecBenchmark(prof trace.Profile, mech config.Mechanism, o Options) (trace.Outcome, error) {
+	r := parsecJob(prof, mech, o).Run()
+	if r.Err != "" {
+		return r.Out, errors.New(r.Err)
 	}
-	out := trace.NewDriver(n, prof, o.Seed+7).Run(50_000_000)
-	if !out.Completed {
-		return out, fmt.Errorf("experiments: %s/%v did not complete", prof.Name, mech)
-	}
-	return out, nil
+	return r.Out, nil
 }
 
 // ParsecSweep reproduces Figs. 8 (c)/(d): all nine benchmarks under all
-// four mechanisms, normalized per benchmark to Baseline.
+// four mechanisms, normalized per benchmark to Baseline. The whole
+// benchmark x mechanism grid runs through the engine; each Baseline run
+// is simulated once and reused as its benchmark's normalization
+// reference.
 func ParsecSweep(o Options) ([]ParsecRow, error) {
-	var rows []ParsecRow
-	for _, prof := range trace.Profiles() {
-		base, err := RunParsecBenchmark(prof, config.Baseline, o)
-		if err != nil {
-			return nil, err
+	profs := trace.Profiles()
+	mechs := config.Mechanisms() // mechs[0] is Baseline
+	var jobs []sweep.Job
+	for _, prof := range profs {
+		for _, mech := range mechs {
+			jobs = append(jobs, parsecJob(prof, mech, o))
 		}
-		for _, mech := range config.Mechanisms() {
-			out := base
-			if mech != config.Baseline {
-				out, err = RunParsecBenchmark(prof, mech, o)
-				if err != nil {
-					return nil, err
+	}
+	results := o.engine().Run(context.Background(), jobs)
+
+	var rows []ParsecRow
+	for bi, prof := range profs {
+		base := results[bi*len(mechs)]
+		for mi, mech := range mechs {
+			res := results[bi*len(mechs)+mi]
+			row := ParsecRow{
+				Benchmark: prof.Name,
+				Mechanism: mech.String(),
+				Err:       res.Err,
+			}
+			if res.Err == "" {
+				out := res.Out
+				row.RuntimeCyc = out.RuntimeCyc
+				row.StaticPJ = out.StaticPJ
+				row.DynamicPJ = out.DynamicPJ
+				row.TotalPJ = out.TotalPJ
+				switch {
+				case base.Err != "":
+					row.Err = fmt.Sprintf("baseline reference failed: %s", base.Err)
+				case base.Out.StaticPJ == 0 || base.Out.TotalPJ == 0 || base.Out.RuntimeCyc == 0:
+					row.Err = "baseline reference is degenerate (zero energy or runtime)"
+				default:
+					row.NormStatic = out.StaticPJ / base.Out.StaticPJ
+					row.NormTotal = out.TotalPJ / base.Out.TotalPJ
+					row.NormRuntime = float64(out.RuntimeCyc) / float64(base.Out.RuntimeCyc)
 				}
 			}
-			rows = append(rows, ParsecRow{
-				Benchmark:   prof.Name,
-				Mechanism:   mech.String(),
-				RuntimeCyc:  out.RuntimeCyc,
-				StaticPJ:    out.StaticPJ,
-				DynamicPJ:   out.DynamicPJ,
-				TotalPJ:     out.TotalPJ,
-				NormStatic:  out.StaticPJ / base.StaticPJ,
-				NormTotal:   out.TotalPJ / base.TotalPJ,
-				NormRuntime: float64(out.RuntimeCyc) / float64(base.RuntimeCyc),
-			})
+			rows = append(rows, row)
 		}
 	}
 	return rows, nil

@@ -5,6 +5,7 @@ import (
 	"flov/internal/gating"
 	"flov/internal/network"
 	"flov/internal/sim"
+	"flov/internal/sweep"
 	"flov/internal/topology"
 	"flov/internal/traffic"
 )
@@ -53,7 +54,7 @@ func ReconfigTimeline(mechs []config.Mechanism, o Options) ([]TimelineRow, error
 	var rows []TimelineRow
 	for _, mc := range mechs {
 		gen := traffic.NewGenerator(traffic.Uniform, mesh, nil)
-		m, err := newMech(mc)
+		m, err := sweep.NewMechanism(mc)
 		if err != nil {
 			return nil, err
 		}

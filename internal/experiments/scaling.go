@@ -1,7 +1,10 @@
 package experiments
 
 import (
+	"context"
+
 	"flov/internal/config"
+	"flov/internal/sweep"
 	"flov/internal/traffic"
 )
 
@@ -21,32 +24,38 @@ type ScalingRow struct {
 	GatedRouters  int
 	Routers       int
 	Undelivered   int64
+	// Err marks a failed point; measurements are zero.
+	Err string
 }
 
 // ScalingSweep runs uniform random traffic at 0.02 flits/cycle/node with
 // half the cores gated across growing mesh sizes.
 func ScalingSweep(o Options) ([]ScalingRow, error) {
-	var rows []ScalingRow
+	var jobs []sweep.Job
 	for _, sz := range ScalingSizes {
 		for _, m := range config.Mechanisms() {
 			cfg := config.Default()
 			cfg.Width, cfg.Height = sz[0], sz[1]
 			cfg.WarmupCycles, cfg.TotalCycles = o.cycles()
 			cfg.Seed = o.Seed + 1
-			r, err := runWithConfig(cfg, traffic.Uniform, 0.02, 0.5, m, o)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, ScalingRow{
-				Width: sz[0], Height: sz[1],
-				Mechanism:    m.String(),
-				AvgLatency:   r.AvgLatency,
-				StaticPowerW: r.StaticPowerW,
-				TotalPowerW:  r.TotalPowerW,
-				GatedRouters: r.GatedRouters,
-				Routers:      sz[0] * sz[1],
-				Undelivered:  r.Undelivered,
-			})
+			jobs = append(jobs, o.jobWithConfig(cfg, traffic.Uniform, 0.02, 0.5, m))
+		}
+	}
+	results := o.engine().Run(context.Background(), jobs)
+	rows := make([]ScalingRow, len(results))
+	for i, res := range results {
+		r := rowFromResult(res)
+		rows[i] = ScalingRow{
+			Width:        res.Job.Config.Width,
+			Height:       res.Job.Config.Height,
+			Mechanism:    r.Mechanism,
+			AvgLatency:   r.AvgLatency,
+			StaticPowerW: r.StaticPowerW,
+			TotalPowerW:  r.TotalPowerW,
+			GatedRouters: r.GatedRouters,
+			Routers:      res.Job.Config.N(),
+			Undelivered:  r.Undelivered,
+			Err:          r.Err,
 		}
 	}
 	return rows, nil

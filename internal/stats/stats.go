@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 
 	"flov/internal/noc"
@@ -30,6 +31,30 @@ type TimeBin struct {
 	Count  int64   // packets ejected in the bin
 	AvgLat float64 // average total latency of those packets
 	sumLat int64
+}
+
+// timeBinJSON carries the accumulator too, so a serialized bin (e.g. in
+// the sweep result cache) deserializes to an identical value.
+type timeBinJSON struct {
+	Start  int64   `json:"start"`
+	Count  int64   `json:"count"`
+	AvgLat float64 `json:"avg_lat"`
+	SumLat int64   `json:"sum_lat,omitempty"`
+}
+
+// MarshalJSON implements a lossless encoding of the bin.
+func (b TimeBin) MarshalJSON() ([]byte, error) {
+	return json.Marshal(timeBinJSON{Start: b.Start, Count: b.Count, AvgLat: b.AvgLat, SumLat: b.sumLat})
+}
+
+// UnmarshalJSON restores a bin, including the internal accumulator.
+func (b *TimeBin) UnmarshalJSON(data []byte) error {
+	var w timeBinJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	*b = TimeBin{Start: w.Start, Count: w.Count, AvgLat: w.AvgLat, sumLat: w.SumLat}
+	return nil
 }
 
 // Collector accumulates per-packet statistics. Packets created before

@@ -1,0 +1,148 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"time"
+)
+
+// Cache is a content-addressed on-disk result store. Entries are keyed
+// by Job.Hash (which folds in the schema and module versions), so a
+// changed config, seed, or simulator version misses cleanly instead of
+// serving stale rows. Layout: <dir>/<hh>/<hash>.json where hh is the
+// first hash byte, to keep directories small.
+//
+// Concurrent use — including by multiple processes sharing a directory —
+// is safe: writes go through a unique temp file plus rename, and reads
+// that race a write simply miss and re-simulate.
+type Cache struct {
+	dir string
+
+	hits, misses, writes atomic.Int64
+}
+
+// entry is the cache file format: the job (for human inspection and
+// integrity checking), the result payload, and the original simulation
+// wall time.
+type entry struct {
+	Hash   string    `json:"hash"`
+	Saved  time.Time `json:"saved"`
+	WallNS int64     `json:"wall_ns"`
+	Result Result    `json:"result"`
+}
+
+// DefaultDir returns the cache directory used when the caller does not
+// pick one: $FLOV_SWEEP_CACHE if set, else <user-cache-dir>/flov-sweep.
+func DefaultDir() (string, error) {
+	if d := os.Getenv("FLOV_SWEEP_CACHE"); d != "" {
+		return d, nil
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("sweep: no cache dir (set FLOV_SWEEP_CACHE): %w", err)
+	}
+	return filepath.Join(base, "flov-sweep"), nil
+}
+
+// NewCache opens (creating if needed) a cache rooted at dir.
+func NewCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: create cache dir: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// path returns the entry file for a hash.
+func (c *Cache) path(hash string) string {
+	return filepath.Join(c.dir, hash[:2], hash+".json")
+}
+
+// Get looks a job's cached result up. Corrupt or unreadable entries
+// count as misses (and are removed so the slot heals on the next Put).
+func (c *Cache) Get(j Job) (Result, bool) {
+	hash := j.Hash()
+	data, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		c.misses.Add(1)
+		return Result{}, false
+	}
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil || e.Hash != hash {
+		os.Remove(c.path(hash))
+		c.misses.Add(1)
+		return Result{}, false
+	}
+	c.hits.Add(1)
+	r := e.Result
+	r.Wall = time.Duration(e.WallNS)
+	return r, true
+}
+
+// Put stores a finished result. Error-carrying results are the caller's
+// to filter; the engine never caches them (failures may be transient).
+func (c *Cache) Put(r Result) error {
+	hash := r.Job.Hash()
+	e := entry{Hash: hash, Saved: time.Now().UTC(), WallNS: int64(r.Wall), Result: r}
+	data, err := json.MarshalIndent(e, "", " ")
+	if err != nil {
+		return fmt.Errorf("sweep: encode cache entry: %w", err)
+	}
+	dir := filepath.Dir(c.path(hash))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, hash+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.path(hash)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	c.writes.Add(1)
+	return nil
+}
+
+// Clear removes every cached entry (the whole directory tree) and
+// recreates the root.
+func (c *Cache) Clear() error {
+	if err := os.RemoveAll(c.dir); err != nil {
+		return err
+	}
+	return os.MkdirAll(c.dir, 0o755)
+}
+
+// Counters reports this cache handle's hit/miss/write counts.
+func (c *Cache) Counters() (hits, misses, writes int64) {
+	return c.hits.Load(), c.misses.Load(), c.writes.Load()
+}
+
+// Len walks the cache and counts stored entries (diagnostics; O(entries)).
+func (c *Cache) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(c.dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n, err
+}

@@ -1,0 +1,138 @@
+package sweep
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"flov/internal/config"
+)
+
+func TestCacheRoundTrip(t *testing.T) {
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := quickJob(config.GFLOV, 0.02, 0.5)
+	if _, ok := c.Get(j); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	want := j.Run()
+	if want.Err != "" {
+		t.Fatal(want.Err)
+	}
+	if err := c.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(j)
+	if !ok {
+		t.Fatal("stored entry missed")
+	}
+	if !reflect.DeepEqual(got.Res, want.Res) {
+		t.Fatal("cached results differ from the original run")
+	}
+	if n, err := c.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want 1", n, err)
+	}
+	if err := c.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(j); ok {
+		t.Fatal("cleared cache reported a hit")
+	}
+}
+
+func TestCacheCorruptEntryMisses(t *testing.T) {
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := quickJob(config.Baseline, 0.02, 0)
+	r := j.Run()
+	if err := c.Put(r); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(c.Dir(), j.Hash()[:2], j.Hash()+".json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(j); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("corrupt entry was not removed")
+	}
+}
+
+// TestEngineCacheSecondRunAllHits is the headline cache property: an
+// unchanged sweep re-run is served entirely from disk with identical
+// rows.
+func TestEngineCacheSecondRunAllHits(t *testing.T) {
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := testGrid()
+
+	cold := (&Engine{Workers: 4, Cache: c}).Run(context.Background(), jobs)
+	for _, r := range cold {
+		if r.CacheHit {
+			t.Fatal("cold run reported a cache hit")
+		}
+		if r.Err != "" {
+			t.Fatal(r.Err)
+		}
+	}
+
+	warm := (&Engine{Workers: 4, Cache: c}).Run(context.Background(), jobs)
+	for i, r := range warm {
+		if !r.CacheHit {
+			t.Fatalf("warm run missed the cache at job %d", i)
+		}
+	}
+	if !reflect.DeepEqual(stripTransient(cold), stripTransient(warm)) {
+		t.Fatal("cached rows differ from simulated rows")
+	}
+
+	// A changed point misses cleanly; unchanged siblings still hit.
+	jobs[0].Config.Seed++
+	mixed := (&Engine{Workers: 4, Cache: c}).Run(context.Background(), jobs)
+	if mixed[0].CacheHit {
+		t.Fatal("changed job was served from the cache")
+	}
+	if !mixed[1].CacheHit {
+		t.Fatal("unchanged job was re-simulated")
+	}
+}
+
+// TestEngineDoesNotCacheErrors: failed points re-run on the next sweep.
+func TestEngineDoesNotCacheErrors(t *testing.T) {
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := quickJob(config.GFLOV, 0.02, 0.5)
+	j.Config.Width = 0 // invalid
+	e := &Engine{Workers: 1, Cache: c}
+	first := e.Run(context.Background(), []Job{j})
+	if first[0].Err == "" {
+		t.Fatal("invalid job did not fail")
+	}
+	second := e.Run(context.Background(), []Job{j})
+	if second[0].CacheHit {
+		t.Fatal("error result was cached")
+	}
+}
+
+func TestDefaultDirEnvOverride(t *testing.T) {
+	t.Setenv("FLOV_SWEEP_CACHE", "/tmp/custom-flov-cache")
+	d, err := DefaultDir()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != "/tmp/custom-flov-cache" {
+		t.Fatalf("DefaultDir = %q", d)
+	}
+}

@@ -1,0 +1,176 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Engine fans a job list out across a worker pool. The zero value is
+// usable: GOMAXPROCS workers, no cache, no progress observer.
+type Engine struct {
+	// Workers caps pool size; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Cache, when non-nil, memoizes successful results on disk.
+	Cache *Cache
+	// Progress, when non-nil, receives per-job lifecycle events. The
+	// observer is called from worker goroutines and must be safe for
+	// concurrent use (Reporter is).
+	Progress Progress
+
+	// runJob lets tests substitute the job runner (panic injection,
+	// timing control). Nil means Job.Run.
+	runJob func(Job) Result
+}
+
+// Run executes jobs and returns one Result per job, in job order,
+// regardless of completion order. A job that fails — returns an error,
+// or panics inside the simulator — yields an error-carrying Result
+// without disturbing its siblings. When ctx is cancelled, jobs not yet
+// started return a "canceled" Result; jobs already running complete
+// normally (simulation points are short; there is no preemption).
+func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	for i, j := range jobs {
+		results[i] = Result{Job: j, Err: context.Canceled.Error()}
+	}
+
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		return results
+	}
+
+	indices := make(chan int)
+	go func() {
+		defer close(indices)
+		for i := range jobs {
+			select {
+			case indices <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				results[i] = e.one(i, len(jobs), jobs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// one runs a single job: cache lookup, guarded execution, cache fill,
+// progress events.
+func (e *Engine) one(index, total int, j Job) Result {
+	e.emit(Event{Type: JobStart, Index: index, Total: total, Job: j})
+
+	if e.Cache != nil {
+		if r, ok := e.Cache.Get(j); ok {
+			r.CacheHit = true
+			e.emit(Event{Type: JobCacheHit, Index: index, Total: total, Job: j,
+				Wall: r.Wall, SimCycles: r.SimCycles()})
+			return r
+		}
+	}
+
+	r := e.guardedRun(j)
+
+	if r.Err == "" && e.Cache != nil {
+		// Cache fills are best-effort: a full disk must not fail the sweep.
+		if err := e.Cache.Put(r); err != nil {
+			e.emit(Event{Type: CacheWriteError, Index: index, Total: total, Job: j, Err: err.Error()})
+		}
+	}
+
+	ev := Event{Type: JobDone, Index: index, Total: total, Job: j,
+		Wall: r.Wall, SimCycles: r.SimCycles()}
+	if r.Err != "" {
+		ev.Type = JobError
+		ev.Err = r.Err
+	}
+	e.emit(ev)
+	return r
+}
+
+// guardedRun executes the job with panic isolation: a crashing point
+// reports an error instead of killing the sweep.
+func (e *Engine) guardedRun(j Job) (r Result) {
+	start := time.Now()
+	defer func() {
+		if p := recover(); p != nil {
+			buf := make([]byte, 4096)
+			buf = buf[:runtime.Stack(buf, false)]
+			r = Result{
+				Job:  j,
+				Err:  fmt.Sprintf("panic: %v\n%s", p, buf),
+				Wall: time.Since(start),
+			}
+		}
+	}()
+	if e.runJob != nil {
+		return e.runJob(j)
+	}
+	return j.Run()
+}
+
+func (e *Engine) emit(ev Event) {
+	if e.Progress != nil {
+		e.Progress.Event(ev)
+	}
+}
+
+// Stats aggregates a finished sweep for reporting.
+type Stats struct {
+	Jobs      int
+	CacheHits int
+	Errors    int
+	// SimCycles totals simulated cycles across all points.
+	SimCycles int64
+	// WorkWall sums per-job wall time (CPU-side work, all workers).
+	WorkWall time.Duration
+	// Wall is the end-to-end elapsed time the caller measured.
+	Wall time.Duration
+}
+
+// Summarize folds a result list (plus the caller-measured elapsed time)
+// into Stats.
+func Summarize(results []Result, wall time.Duration) Stats {
+	s := Stats{Jobs: len(results), Wall: wall}
+	for _, r := range results {
+		if r.CacheHit {
+			s.CacheHits++
+		}
+		if r.Err != "" {
+			s.Errors++
+		}
+		s.SimCycles += r.SimCycles()
+		s.WorkWall += r.Wall
+	}
+	return s
+}
+
+// String renders the stats as a one-line summary.
+func (s Stats) String() string {
+	line := fmt.Sprintf("%d jobs (%d cached, %d failed) in %v",
+		s.Jobs, s.CacheHits, s.Errors, s.Wall.Round(time.Millisecond))
+	if s.Wall > 0 && s.SimCycles > 0 {
+		line += fmt.Sprintf(", %.1f Mcycles simulated (%.1f Mcyc/s)",
+			float64(s.SimCycles)/1e6, float64(s.SimCycles)/1e6/s.Wall.Seconds())
+	}
+	return line
+}

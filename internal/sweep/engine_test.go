@@ -1,0 +1,191 @@
+package sweep
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"flov/internal/config"
+)
+
+// testGrid is a small mixed grid exercising all four mechanisms.
+func testGrid() []Job {
+	var jobs []Job
+	for _, m := range config.Mechanisms() {
+		for _, frac := range []float64{0, 0.5} {
+			jobs = append(jobs, quickJob(m, 0.02, frac))
+		}
+	}
+	return jobs
+}
+
+// stripTransient zeroes the per-invocation fields so results compare by
+// simulation content only.
+func stripTransient(results []Result) []Result {
+	out := make([]Result, len(results))
+	for i, r := range results {
+		r.Wall = 0
+		r.CacheHit = false
+		out[i] = r
+	}
+	return out
+}
+
+// TestParallelMatchesSequential is the engine's core guarantee: the same
+// job list produces identical rows, in identical order, at any worker
+// count.
+func TestParallelMatchesSequential(t *testing.T) {
+	jobs := testGrid()
+	seq := (&Engine{Workers: 1}).Run(context.Background(), jobs)
+	par := (&Engine{Workers: 8}).Run(context.Background(), jobs)
+	if !reflect.DeepEqual(stripTransient(seq), stripTransient(par)) {
+		t.Fatal("parallel results differ from sequential results")
+	}
+	for i, r := range par {
+		if r.Job.Hash() != jobs[i].Hash() {
+			t.Fatalf("result %d is out of order", i)
+		}
+		if r.Err != "" {
+			t.Fatalf("job %d failed: %s", i, r.Err)
+		}
+	}
+}
+
+// TestEngineResultOrdering uses a fake runner with inverted timing (first
+// job slowest) to force out-of-order completion.
+func TestEngineResultOrdering(t *testing.T) {
+	jobs := make([]Job, 16)
+	for i := range jobs {
+		jobs[i] = quickJob(config.Baseline, 0.02, 0)
+		jobs[i].MaskSeed = uint64(i) // distinguish jobs
+	}
+	e := &Engine{
+		Workers: 8,
+		runJob: func(j Job) Result {
+			time.Sleep(time.Duration(16-j.MaskSeed) * time.Millisecond)
+			return Result{Job: j}
+		},
+	}
+	results := e.Run(context.Background(), jobs)
+	for i, r := range results {
+		if r.Job.MaskSeed != uint64(i) {
+			t.Fatalf("result %d carries job %d", i, r.Job.MaskSeed)
+		}
+	}
+}
+
+// TestEnginePanicIsolation: a crashing job reports an error row; its
+// siblings complete.
+func TestEnginePanicIsolation(t *testing.T) {
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		jobs[i] = quickJob(config.Baseline, 0.02, 0)
+		jobs[i].MaskSeed = uint64(i)
+	}
+	e := &Engine{
+		Workers: 3,
+		runJob: func(j Job) Result {
+			if j.MaskSeed == 2 {
+				panic("boom")
+			}
+			return Result{Job: j}
+		},
+	}
+	results := e.Run(context.Background(), jobs)
+	for i, r := range results {
+		if i == 2 {
+			if !strings.Contains(r.Err, "panic: boom") {
+				t.Fatalf("panicking job reported %q", r.Err)
+			}
+			continue
+		}
+		if r.Err != "" {
+			t.Fatalf("sibling %d failed: %s", i, r.Err)
+		}
+	}
+}
+
+// TestEngineCancellation: cancelling the context marks unstarted jobs as
+// canceled without hanging the pool.
+func TestEngineCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	jobs := make([]Job, 32)
+	for i := range jobs {
+		jobs[i] = quickJob(config.Baseline, 0.02, 0)
+		jobs[i].MaskSeed = uint64(i)
+	}
+	e := &Engine{
+		Workers: 2,
+		runJob: func(j Job) Result {
+			cancel()
+			// Keep the workers busy so the feeder observes the cancel
+			// before another worker frees up.
+			time.Sleep(10 * time.Millisecond)
+			return Result{Job: j}
+		},
+	}
+	results := e.Run(ctx, jobs)
+	ran, canceled := 0, 0
+	for _, r := range results {
+		if r.Err == context.Canceled.Error() {
+			canceled++
+		} else if r.Err == "" {
+			ran++
+		} else {
+			t.Fatalf("unexpected error: %s", r.Err)
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("no jobs were canceled")
+	}
+	if ran == 0 {
+		t.Fatal("no jobs ran")
+	}
+	if ran+canceled != len(jobs) {
+		t.Fatalf("ran %d + canceled %d != %d", ran, canceled, len(jobs))
+	}
+}
+
+// TestEngineProgressEvents: every job emits start and exactly one
+// completion event, with consistent totals.
+func TestEngineProgressEvents(t *testing.T) {
+	var mu sync.Mutex
+	counts := map[EventType]int{}
+	obs := progressFunc(func(e Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		counts[e.Type]++
+		if e.Total != 8 {
+			t.Errorf("event total = %d, want 8", e.Total)
+		}
+	})
+	jobs := testGrid()
+	e := &Engine{Workers: 4, Progress: obs, runJob: func(j Job) Result { return Result{Job: j} }}
+	e.Run(context.Background(), jobs)
+	if counts[JobStart] != 8 || counts[JobDone] != 8 {
+		t.Fatalf("unexpected event counts: %v", counts)
+	}
+}
+
+// progressFunc adapts a function to the Progress interface.
+type progressFunc func(Event)
+
+func (f progressFunc) Event(e Event) { f(e) }
+
+func TestSummarize(t *testing.T) {
+	results := []Result{
+		{CacheHit: true, Wall: time.Second},
+		{Err: "x", Wall: time.Second},
+		{Wall: 2 * time.Second},
+	}
+	s := Summarize(results, 3*time.Second)
+	if s.Jobs != 3 || s.CacheHits != 1 || s.Errors != 1 || s.WorkWall != 4*time.Second || s.Wall != 3*time.Second {
+		t.Fatalf("bad stats: %+v", s)
+	}
+	if !strings.Contains(s.String(), "3 jobs (1 cached, 1 failed)") {
+		t.Fatalf("bad stats string: %s", s)
+	}
+}

@@ -1,0 +1,33 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"flov/internal/config"
+)
+
+func TestReporterLines(t *testing.T) {
+	var b strings.Builder
+	r := NewReporter(&b)
+	j := quickJob(config.GFLOV, 0.02, 0.5)
+	r.Event(Event{Type: JobStart, Index: 0, Total: 3, Job: j})
+	r.Event(Event{Type: JobDone, Index: 0, Total: 3, Job: j, Wall: time.Second, SimCycles: 4000})
+	r.Event(Event{Type: JobCacheHit, Index: 1, Total: 3, Job: j})
+	r.Event(Event{Type: JobError, Index: 2, Total: 3, Job: j, Err: "boom\nstack"})
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected 3 lines (start is silent), got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "[1/3]") || !strings.Contains(lines[0], "Mcyc/s") {
+		t.Errorf("bad done line: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "cached") {
+		t.Errorf("bad cache line: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "ERROR: boom") || strings.Contains(lines[2], "stack") {
+		t.Errorf("bad error line: %q", lines[2])
+	}
+}

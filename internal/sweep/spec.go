@@ -1,0 +1,177 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"flov/internal/config"
+	"flov/internal/trace"
+	"flov/internal/traffic"
+)
+
+// Spec is a declarative sweep description: the cross product of its
+// lists, in deterministic pattern × rate × fraction × mechanism order
+// (benchmark × mechanism for PARSEC specs). It is the JSON schema
+// cmd/flovsweep accepts and what the CLI flags are folded into.
+type Spec struct {
+	// Synthetic grid. Ignored when Benchmarks is non-empty.
+	Patterns   []string  `json:"patterns,omitempty"`
+	Rates      []float64 `json:"rates,omitempty"`
+	GatedFracs []float64 `json:"gated_fractions,omitempty"`
+
+	// Mechanisms under test; empty means all four.
+	Mechanisms []string `json:"mechanisms,omitempty"`
+
+	// Benchmarks switches the spec to the PARSEC closed-loop workloads;
+	// the single entry "all" expands to every profile.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+
+	// Testbed overrides (zero values take Table I defaults).
+	Width  int   `json:"width,omitempty"`
+	Height int   `json:"height,omitempty"`
+	Cycles int64 `json:"cycles,omitempty"`
+	Warmup int64 `json:"warmup,omitempty"`
+
+	// Seed drives both the simulator RNG and the gated-set draw, exactly
+	// like flovsim's -seed, so a sweep point and the equivalent single
+	// run share one cache identity.
+	Seed uint64 `json:"seed,omitempty"`
+
+	// MaxCycles bounds PARSEC runs (0 = default bound).
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+}
+
+// LoadSpec reads a JSON spec file.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("sweep: parse spec %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Jobs expands the spec into its job list.
+func (s Spec) Jobs() ([]Job, error) {
+	mechs, err := s.mechanisms()
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Benchmarks) > 0 {
+		return s.parsecJobs(mechs)
+	}
+	return s.syntheticJobs(mechs)
+}
+
+func (s Spec) mechanisms() ([]config.Mechanism, error) {
+	if len(s.Mechanisms) == 0 || (len(s.Mechanisms) == 1 && s.Mechanisms[0] == "all") {
+		return config.Mechanisms(), nil
+	}
+	var mechs []config.Mechanism
+	for _, name := range s.Mechanisms {
+		m, err := config.ParseMechanism(name)
+		if err != nil {
+			return nil, err
+		}
+		mechs = append(mechs, m)
+	}
+	return mechs, nil
+}
+
+// baseConfig applies the spec's testbed overrides to a Table I config.
+func (s Spec) baseConfig(cfg config.Config) config.Config {
+	if s.Width > 0 {
+		cfg.Width = s.Width
+	}
+	if s.Height > 0 {
+		cfg.Height = s.Height
+	}
+	if s.Cycles > 0 {
+		cfg.TotalCycles = s.Cycles
+	}
+	if s.Warmup > 0 {
+		cfg.WarmupCycles = s.Warmup
+	}
+	if s.Seed != 0 {
+		cfg.Seed = s.Seed
+	}
+	return cfg
+}
+
+func (s Spec) syntheticJobs(mechs []config.Mechanism) ([]Job, error) {
+	patterns := s.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"uniform"}
+	}
+	rates := s.Rates
+	if len(rates) == 0 {
+		rates = []float64{0.02}
+	}
+	fracs := s.GatedFracs
+	if len(fracs) == 0 {
+		fracs = []float64{0.5}
+	}
+	var jobs []Job
+	for _, pname := range patterns {
+		pat, err := traffic.ParsePattern(pname)
+		if err != nil {
+			return nil, err
+		}
+		for _, rate := range rates {
+			for _, frac := range fracs {
+				for _, m := range mechs {
+					cfg := s.baseConfig(config.Default())
+					cfg.Mechanism = m
+					jobs = append(jobs, Job{
+						Kind:      Synthetic,
+						Config:    cfg,
+						Pattern:   pat,
+						Rate:      rate,
+						Frac:      frac,
+						Mechanism: m,
+						// Same derivation as flov.Build, so flovsim and
+						// flovsweep agree on a point's identity.
+						MaskSeed: cfg.Seed ^ 0xabcd,
+					})
+				}
+			}
+		}
+	}
+	return jobs, nil
+}
+
+func (s Spec) parsecJobs(mechs []config.Mechanism) ([]Job, error) {
+	benches := s.Benchmarks
+	if len(benches) == 1 && benches[0] == "all" {
+		benches = nil
+		for _, p := range trace.Profiles() {
+			benches = append(benches, p.Name)
+		}
+	}
+	var jobs []Job
+	for _, name := range benches {
+		prof, ok := trace.ProfileByName(name)
+		if !ok {
+			return nil, fmt.Errorf("sweep: unknown benchmark %q", name)
+		}
+		for _, m := range mechs {
+			cfg := s.baseConfig(config.FullSystem())
+			cfg.WarmupCycles = 0
+			cfg.TotalCycles = 1 << 40
+			cfg.Mechanism = m
+			jobs = append(jobs, Job{
+				Kind:      PARSEC,
+				Config:    cfg,
+				Mechanism: m,
+				Profile:   prof,
+				Seed:      cfg.Seed,
+				MaxCycles: s.MaxCycles,
+			})
+		}
+	}
+	return jobs, nil
+}
