@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -199,6 +200,14 @@ func latencyPower(dir, name string, p traffic.Pattern, o experiments.Options) er
 	return nil
 }
 
+// sameGrid matches a row's rate/fraction against the grid value it was
+// built from. The values are copied, never recomputed, so they should
+// be bit-identical; the epsilon only guards against an upstream change
+// that starts re-deriving them arithmetically.
+func sameGrid(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
 // printSeries prints a fraction x mechanism grid for one rate.
 func printSeries(rows []experiments.SweepRow, rate float64, get func(experiments.SweepRow) float64) {
 	mechs := []string{"Baseline", "RP", "rFLOV", "gFLOV"}
@@ -212,7 +221,7 @@ func printSeries(rows []experiments.SweepRow, rate float64, get func(experiments
 		for _, m := range mechs {
 			v := 0.0
 			for _, r := range rows {
-				if r.Rate == rate && r.Frac == frac && r.Mechanism == m {
+				if sameGrid(r.Rate, rate) && sameGrid(r.Frac, frac) && r.Mechanism == m {
 					v = get(r)
 				}
 			}
@@ -303,7 +312,7 @@ func saturation(dir string, o experiments.Options) error {
 		fmt.Printf("%-8.2f", rate)
 		for _, m := range mechs {
 			for _, r := range rows {
-				if r.Rate == rate && r.Mechanism == m {
+				if sameGrid(r.Rate, rate) && r.Mechanism == m {
 					mark := " "
 					if r.Undelivered > 0 {
 						mark = "*"

@@ -1,0 +1,128 @@
+// Command flovlint runs the simulator's determinism and invariant
+// analyzers over the module: no ambient randomness or wall-clock time
+// in simulation packages, no map-iteration order leaking into results,
+// no float == comparisons, no copied locks, no silently discarded
+// errors. See internal/analysis for the rules and the
+// //flovlint:allow suppression syntax.
+//
+// Usage:
+//
+//	flovlint ./...              # whole module (the CI gate)
+//	flovlint ./internal/core    # one package
+//	flovlint -rule floatcmp ./...
+//
+// Exit status: 0 clean, 1 findings, 2 operational error (unparseable
+// or untypeable code included — broken code cannot be vouched for).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"flov/internal/analysis"
+)
+
+func main() {
+	rules := flag.String("rule", "", "comma-separated analyzer subset (default: all)")
+	tags := flag.String("tags", "", "comma-separated build tags (e.g. flovdebug)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*rules)
+	if err != nil {
+		fatal(err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	if *tags != "" {
+		loader.BuildTags = strings.Split(*tags, ",")
+	}
+
+	paths, err := loader.Discover(patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range analysis.RunPackage(pkg, analyzers) {
+			rel, rerr := relToRoot(root, d)
+			if rerr != nil {
+				rel = d.String()
+			}
+			fmt.Println(rel)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "flovlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// relToRoot rewrites a diagnostic's filename relative to the module
+// root for stable, clickable output.
+func relToRoot(root string, d analysis.Diagnostic) (string, error) {
+	rel, err := filepath.Rel(root, d.Pos.Filename)
+	if err != nil {
+		return "", err
+	}
+	d.Pos.Filename = rel
+	return d.String(), nil
+}
+
+func selectAnalyzers(rules string) ([]*analysis.Analyzer, error) {
+	all := analysis.Analyzers()
+	if rules == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(rules, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flovlint:", err)
+	os.Exit(2)
+}

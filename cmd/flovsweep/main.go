@@ -61,7 +61,10 @@ func main() {
 		if cache == nil {
 			fatal(fmt.Errorf("-clear-cache with -no-cache makes no sense"))
 		}
-		n, _ := cache.Len()
+		n, err := cache.Len()
+		if err != nil {
+			fatal(err)
+		}
 		if err := cache.Clear(); err != nil {
 			fatal(err)
 		}
@@ -96,12 +99,13 @@ func main() {
 	stats := sweep.Summarize(results, time.Since(start))
 
 	w := os.Stdout
+	var outFile *os.File
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
+		outFile = f
 		w = f
 	}
 	switch *format {
@@ -113,6 +117,13 @@ func main() {
 		err = enc.Encode(results)
 	default:
 		err = fmt.Errorf("unknown format %q (want csv or json)", *format)
+	}
+	// Close before reporting: a close error on a freshly written file
+	// means rows may not have reached the disk.
+	if outFile != nil {
+		if cerr := outFile.Close(); err == nil {
+			err = cerr
+		}
 	}
 	if err != nil {
 		fatal(err)

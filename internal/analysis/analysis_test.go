@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// finding is a (file, line, rule) triple, the granularity at which the
+// fixture declares its expected diagnostics.
+type finding struct {
+	file string // base name
+	line int
+	rule string
+}
+
+// newTestLoader builds a loader over the real module with the fixture
+// directory mapped to the given fake in-module import paths.
+func newTestLoader(t *testing.T, importPaths ...string) (*Loader, string) {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "fixture"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.Overrides = make(map[string]string)
+	for _, p := range importPaths {
+		loader.Overrides[p] = dir
+	}
+	return loader, dir
+}
+
+// wantFindings scans the fixture sources for trailing
+// "// want <rule>..." markers.
+func wantFindings(t *testing.T, dir string) map[finding]int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := make(map[string]bool)
+	for _, a := range Analyzers() {
+		rules[a.Name] = true
+	}
+	want := make(map[finding]int)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, after, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			for _, rule := range strings.Fields(after) {
+				if rules[rule] { // prose mentioning "// want" is not a marker
+					want[finding{e.Name(), i + 1, rule}]++
+				}
+			}
+		}
+	}
+	if len(want) == 0 {
+		t.Fatalf("no // want markers found under %s", dir)
+	}
+	return want
+}
+
+// TestAnalyzersOnFixture checks every analyzer against the marked
+// violations in testdata/fixture, including that the //flovlint:allow
+// suppression and the allowed idioms produce no extra findings.
+func TestAnalyzersOnFixture(t *testing.T) {
+	const path = "flov/internal/fixture" // restricted: nondeterm applies
+	loader, dir := newTestLoader(t, path)
+	pkg, err := loader.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(map[finding]int)
+	for _, d := range RunPackage(pkg, Analyzers()) {
+		got[finding{filepath.Base(d.Pos.Filename), d.Pos.Line, d.Rule}]++
+	}
+
+	want := wantFindings(t, dir)
+	for f, n := range want {
+		if got[f] != n {
+			t.Errorf("%s:%d: want %d %s finding(s), got %d", f.file, f.line, n, f.rule, got[f])
+		}
+	}
+	for f, n := range got {
+		if want[f] == 0 {
+			t.Errorf("%s:%d: unexpected %s finding (x%d)", f.file, f.line, f.rule, n)
+		}
+	}
+}
+
+// TestNondetAllowlistedPath reloads the same fixture under a cmd/ path,
+// where wall-clock time and ambient randomness are legitimate: the
+// nondeterm analyzer must stay silent.
+func TestNondetAllowlistedPath(t *testing.T) {
+	const path = "flov/cmd/fixture"
+	loader, _ := newTestLoader(t, path)
+	pkg, err := loader.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range RunPackage(pkg, []*Analyzer{NondetAnalyzer}) {
+		t.Errorf("allowlisted package flagged: %s", d)
+	}
+}
+
+// TestDiscoverSkipsTestdata checks that ./... expansion covers the real
+// packages but never descends into testdata fixtures.
+func TestDiscoverSkipsTestdata(t *testing.T) {
+	loader, _ := newTestLoader(t)
+	paths, err := loader.Discover([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		seen[p] = true
+		if strings.Contains(p, "testdata") {
+			t.Errorf("Discover leaked a testdata package: %s", p)
+		}
+	}
+	for _, must := range []string{"flov", "flov/internal/analysis", "flov/internal/sweep", "flov/cmd/flovlint"} {
+		if !seen[must] {
+			t.Errorf("Discover missed %s (got %d packages)", must, len(paths))
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CopyLockAnalyzer flags copies of values whose type transitively
+// contains a synchronization primitive (sync.Mutex, sync.RWMutex,
+// sync.WaitGroup, sync.Once, sync.Cond, sync.Pool, sync.Map, or
+// atomic value types). A copied lock guards nothing: the copy and the
+// original synchronize independently, which under -race shows up as
+// intermittent corruption — in this codebase typically a sweep
+// Reporter or Engine copied into a goroutine by value.
+//
+// Checked copy sites: function parameters, results and receivers
+// declared by value; assignments from existing values (composite
+// literals are fresh and fine); and range clauses that copy elements
+// out of containers.
+var CopyLockAnalyzer = &Analyzer{
+	Name: "copylock",
+	Doc:  "forbid by-value copies of lock-containing structs",
+	Run:  runCopyLock,
+}
+
+// syncTypes are the primitive no-copy types.
+var syncTypes = map[string]bool{
+	"sync.Mutex": true, "sync.RWMutex": true, "sync.WaitGroup": true,
+	"sync.Once": true, "sync.Cond": true, "sync.Pool": true, "sync.Map": true,
+	"sync/atomic.Value": true, "sync/atomic.Bool": true,
+	"sync/atomic.Int32": true, "sync/atomic.Int64": true,
+	"sync/atomic.Uint32": true, "sync/atomic.Uint64": true,
+	"sync/atomic.Uintptr": true, "sync/atomic.Pointer": true,
+}
+
+// lockPath returns a human-readable path to the first lock found
+// inside t ("sweep.Reporter contains sync.Mutex"), or "".
+func lockPath(t types.Type) string {
+	return lockPathRec(t, make(map[types.Type]bool))
+}
+
+func lockPathRec(t types.Type, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil {
+			full := obj.Pkg().Path() + "." + obj.Name()
+			if syncTypes[full] {
+				return full
+			}
+		}
+		return lockPathRec(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if p := lockPathRec(u.Field(i).Type(), seen); p != "" {
+				return p
+			}
+		}
+	case *types.Array:
+		return lockPathRec(u.Elem(), seen)
+	}
+	return ""
+}
+
+func runCopyLock(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				p.checkFuncSig(n)
+			case *ast.AssignStmt:
+				p.checkLockAssign(n)
+			case *ast.RangeStmt:
+				p.checkLockRange(n)
+			}
+			return true
+		})
+	}
+}
+
+// checkFuncSig flags by-value lock parameters, results and receivers.
+func (p *Pass) checkFuncSig(fd *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := p.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if lp := lockPath(t); lp != "" {
+				p.Reportf(field.Pos(), "%s of %s passes %s by value; use a pointer", what, fd.Name.Name, lp)
+			}
+		}
+	}
+	check(fd.Recv, "receiver")
+	check(fd.Type.Params, "parameter")
+	check(fd.Type.Results, "result")
+}
+
+// checkLockAssign flags assignments that copy an existing lock value.
+func (p *Pass) checkLockAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if isFreshValue(rhs) {
+			continue
+		}
+		t := p.TypeOf(rhs)
+		if t == nil {
+			continue
+		}
+		if lp := lockPath(t); lp != "" {
+			if ident, ok := as.Lhs[i].(*ast.Ident); ok && ident.Name == "_" {
+				continue
+			}
+			p.Reportf(as.Pos(), "assignment copies a value containing %s; use a pointer", lp)
+		}
+	}
+}
+
+// checkLockRange flags range clauses whose value variable copies lock
+// values out of the container.
+func (p *Pass) checkLockRange(rs *ast.RangeStmt) {
+	if rs.Value == nil {
+		return
+	}
+	if ident, ok := rs.Value.(*ast.Ident); ok && ident.Name == "_" {
+		return
+	}
+	t := p.TypeOf(rs.Value)
+	if t == nil {
+		return
+	}
+	if lp := lockPath(t); lp != "" {
+		p.Reportf(rs.Pos(), "range copies elements containing %s; range over indices or pointers", lp)
+	}
+}
+
+// isFreshValue reports whether e constructs a brand-new value (a
+// composite literal or a conversion of one), which is safe to place
+// anywhere.
+func isFreshValue(e ast.Expr) bool {
+	switch v := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.ParenExpr:
+		return isFreshValue(v.X)
+	}
+	return false
+}

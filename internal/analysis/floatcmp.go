@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatCmpAnalyzer forbids == and != on floating-point operands.
+// Latency and energy accumulators are floats whose exact bit pattern
+// depends on summation order; comparing them with == either works by
+// accident or breaks silently when an optimization reorders an
+// accumulation. Code should compare against an epsilon, or restructure
+// to compare the integers the floats were derived from. Comparisons
+// where both operands are compile-time constants are exempt (the
+// result is decided at compile time).
+var FloatCmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "forbid == and != on float operands",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := p.Info.Types[be.X], p.Info.Types[be.Y]
+			if xt.Value != nil && yt.Value != nil {
+				return true // constant comparison, folded at compile time
+			}
+			if isFloat(xt.Type) || isFloat(yt.Type) {
+				p.Reportf(be.OpPos, "%s on float operands; compare with an epsilon or restructure around integers", be.Op)
+			}
+			return true
+		})
+	}
+}
+
+// isFloat reports whether t is (or defaults to) a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	basic, ok := types.Default(t).Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapRangeAnalyzer flags ranging over a map when the loop body is
+// order-sensitive: appending to a slice, accumulating floats or
+// strings, sending on a channel, or writing output. Go randomizes map
+// iteration order per run, so any of these lets that randomness leak
+// into results — the exact nondeterminism the sweep cache and the
+// equivalence tests cannot tolerate.
+//
+// The one allowed shape is the canonical sort idiom — a body that only
+// collects the keys:
+//
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort/slices sort of keys...
+//
+// (The analyzer cannot prove the subsequent sort; collecting keys and
+// forgetting to sort them is still a bug, just not one it can see.)
+// Order-independent bodies — counting, map-to-map writes, max/min over
+// integers — are not flagged.
+var MapRangeAnalyzer = &Analyzer{
+	Name: "maprange",
+	Doc:  "forbid order-sensitive bodies under map iteration",
+	Run:  runMapRange,
+}
+
+// writerCalls are method/function names whose call inside a map-range
+// body emits output or feeds a hash in iteration order.
+var writerCalls = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Sprint": false, // pure, returns a value; order leaks only if accumulated
+	"Encode": true, "Marshal": false,
+}
+
+func runMapRange(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if isKeyCollectLoop(p, rs) {
+				return true
+			}
+			p.checkMapRangeBody(rs)
+			return true
+		})
+	}
+}
+
+// isKeyCollectLoop recognizes the sorted-iteration idiom: a body that
+// is exactly `outer = append(outer, key)`.
+func isKeyCollectLoop(p *Pass, rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || !isBuiltinAppend(p, call) || len(call.Args) != 2 || call.Ellipsis != token.NoPos {
+		return false
+	}
+	keyIdent, ok := rs.Key.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	if !ok || p.Info.Uses[arg] == nil || p.Info.Uses[arg] != p.Info.Defs[keyIdent] {
+		return false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	dst, ok2 := call.Args[0].(*ast.Ident)
+	return ok && ok2 && lhs.Name == dst.Name
+}
+
+// checkMapRangeBody reports the order-sensitive statements of a
+// map-range body.
+func (p *Pass) checkMapRangeBody(rs *ast.RangeStmt) {
+	body := rs.Body
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			p.Reportf(n.Pos(), "channel send inside map iteration publishes values in random order; iterate sorted keys")
+		case *ast.AssignStmt:
+			p.checkMapRangeAssign(body, n)
+		case *ast.CallExpr:
+			if name, ok := calleeName(n); ok && writerCalls[name] {
+				p.Reportf(n.Pos(), "%s call inside map iteration emits output in random order; iterate sorted keys", name)
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign flags appends and order-sensitive accumulation
+// targeting variables that outlive the loop body.
+func (p *Pass) checkMapRangeAssign(body *ast.BlockStmt, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE:
+		for _, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(p, call) {
+				continue
+			}
+			if dst, ok := call.Args[0].(*ast.Ident); ok && p.declaredWithin(dst, body) {
+				continue // scratch slice local to the body
+			}
+			p.Reportf(as.Pos(), "append inside map iteration builds a slice in random order; iterate sorted keys")
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		lhs := as.Lhs[0]
+		t := p.TypeOf(lhs)
+		isStr := false
+		if b, ok := types.Default(t).Underlying().(*types.Basic); ok {
+			isStr = b.Info()&types.IsString != 0
+		}
+		if !isFloat(t) && !(as.Tok == token.ADD_ASSIGN && isStr) {
+			return // integer accumulation commutes; order cannot leak
+		}
+		if root := rootIdent(lhs); root != nil && p.declaredWithin(root, body) {
+			return
+		}
+		p.Reportf(as.Pos(), "%s accumulation inside map iteration is order-sensitive for %s operands; iterate sorted keys",
+			as.Tok, types.Default(t))
+	}
+}
+
+// declaredWithin reports whether ident's declaration lies inside node.
+func (p *Pass) declaredWithin(ident *ast.Ident, node ast.Node) bool {
+	obj := p.Info.Uses[ident]
+	if obj == nil {
+		obj = p.Info.Defs[ident]
+	}
+	return obj != nil && obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// rootIdent returns the base identifier of an lvalue expression
+// (x, x.f, x[i].f ...), or nil.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	ident, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := p.Info.Uses[ident].(*types.Builtin)
+	return ok && obj.Name() == "append"
+}
+
+// calleeName extracts the called function or method name.
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name, true
+	case *ast.SelectorExpr:
+		return fn.Sel.Name, true
+	}
+	return "", false
+}

@@ -1,0 +1,18 @@
+package fixture
+
+// EqualLatency compares measured floats exactly.
+func EqualLatency(a, b float64) bool {
+	return a == b // want floatcmp
+}
+
+// SentinelOK shows a suppressed comparison: the value is assigned,
+// never computed, so exact equality is intentional.
+func SentinelOK(v float64) bool {
+	//flovlint:allow floatcmp -- -1 is an assigned sentinel, never computed
+	return v == -1
+}
+
+// IntCompare is exact and fine.
+func IntCompare(a, b int) bool {
+	return a == b
+}

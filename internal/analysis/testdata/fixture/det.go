@@ -1,0 +1,19 @@
+// Package fixture contains deliberate violations of every flovlint
+// rule, each marked with a trailing "// want <rule>" comment. The
+// analysis tests load this package under a fake in-module import path
+// and compare the diagnostics against the markers. It lives under
+// testdata so ordinary builds, vet and flovlint ./... never see it.
+package fixture
+
+import (
+	"math/rand" // want nondeterm
+	"time"
+)
+
+// Jitter mixes ambient randomness with wall-clock time — the exact
+// combination that makes a cached sweep row unreproducible.
+func Jitter() int64 {
+	start := time.Now() // want nondeterm
+	v := rand.Int63()
+	return v + int64(time.Since(start)) // want nondeterm
+}

@@ -1,0 +1,27 @@
+package fixture
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Sloppy discards errors in all three flagged forms: a mixed blank
+// assignment, a deferred call, and a bare statement writing to a
+// writer that can fail.
+func Sloppy(w io.Writer, path string) {
+	f, _ := os.Open(path) // want errcheck
+	defer f.Close()       // want errcheck
+	fmt.Fprintf(w, "hi")  // want errcheck
+}
+
+// Careful shows the allowed forms: never-failing builders, terminal
+// chatter, and an explicit all-blank discard.
+func Careful() string {
+	var b strings.Builder
+	b.WriteString("ok")
+	fmt.Fprintln(os.Stderr, "progress")
+	_, _ = fmt.Fprintf(io.Discard, "explicitly dropped")
+	return b.String()
+}

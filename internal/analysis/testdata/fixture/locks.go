@@ -1,0 +1,33 @@
+package fixture
+
+import "sync"
+
+// Guarded carries a mutex, so by-value copies desynchronize it.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Incr uses the lock properly through a pointer receiver.
+func (g *Guarded) Incr() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// ReadByValue copies the receiver's mutex.
+func (g Guarded) ReadByValue() int { // want copylock
+	return g.n
+}
+
+// CopyOut duplicates an existing guarded value.
+func CopyOut(g *Guarded) int {
+	cp := *g // want copylock
+	return cp.n
+}
+
+// Fresh construction from a composite literal is fine.
+func Fresh() *Guarded {
+	g := Guarded{}
+	return &g
+}

@@ -1,0 +1,32 @@
+package fixture
+
+// SumAndCollect leaks map-iteration order into a float accumulator and
+// a result slice.
+func SumAndCollect(m map[string]float64) ([]string, float64) {
+	var out []string
+	var sum float64
+	for k, v := range m {
+		out = append(out, k) // want maprange
+		sum += v             // want maprange
+	}
+	return out, sum
+}
+
+// SortedKeys is the canonical allowed key-collection idiom.
+func SortedKeys(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// CountValues is order-insensitive and allowed: integer accumulation
+// commutes.
+func CountValues(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,21 @@
+// Package assert provides build-tag-gated runtime invariant checks for
+// the simulator's hot paths. The constant On is true only when the
+// build carries the `flovdebug` tag, so guarded blocks
+//
+//	if assert.On {
+//		// expensive invariant walk
+//	}
+//
+// are dead-code eliminated from ordinary builds and cost nothing there.
+// CI exercises the checks with `go test -race -tags flovdebug ./...`.
+package assert
+
+import "fmt"
+
+// Failf reports a violated invariant. Invariants guard simulator
+// correctness (credit conservation, flit conservation, power-gating
+// isolation); a violation is a bug in the simulator itself, so it
+// panics rather than returning an error.
+func Failf(format string, args ...any) {
+	panic("invariant violated: " + fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,7 @@
+//go:build !flovdebug
+
+package assert
+
+// On disables runtime invariant checks (ordinary build); guarded
+// blocks compile away entirely.
+const On = false

@@ -1,0 +1,6 @@
+//go:build flovdebug
+
+package assert
+
+// On enables runtime invariant checks (flovdebug build).
+const On = true

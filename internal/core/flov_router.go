@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"flov/internal/assert"
 	"flov/internal/config"
 	"flov/internal/noc"
 	"flov/internal/power"
@@ -56,6 +57,11 @@ type flovRouter struct {
 	// Counters for tests and reports.
 	sleeps, wakes, drainAborts, wakeAborts int64
 	latchTraversals                        int64
+
+	// sleepTraversals snapshots the wrapped router's crossbar counter at
+	// commitSleep; flovdebug builds assert it never moves while gated
+	// (flits may only cross a gated router through the FLOV latches).
+	sleepTraversals int64
 }
 
 // newFLOVRouter wraps r.
@@ -398,6 +404,7 @@ func (w *flovRouter) tickDraining(now int64) {
 func (w *flovRouter) commitSleep(now int64) {
 	w.transition(Sleep)
 	w.sleeps++
+	w.sleepTraversals = w.r.Traversals
 	w.mech.ledger.AddDyn(power.CatGating, 1)
 	for d := 0; d < topology.NumLinkDirs; d++ {
 		if w.physID[d] < 0 {
@@ -415,6 +422,9 @@ func (w *flovRouter) commitSleep(now int64) {
 }
 
 func (w *flovRouter) tickSleep(now int64) {
+	if assert.On {
+		w.assertGatedQuiescent(now)
+	}
 	w.forwardLatches(now)
 	w.relayAndObserve(now)
 
@@ -451,6 +461,9 @@ func (w *flovRouter) startWakeup(now int64) {
 }
 
 func (w *flovRouter) tickWakeup(now int64) {
+	if assert.On {
+		w.assertGatedQuiescent(now)
+	}
 	w.forwardLatches(now)
 	for d := 0; d < topology.NumLinkDirs; d++ {
 		q := w.r.Ports[d].InCtrl
@@ -543,6 +556,21 @@ func (w *flovRouter) commitActive(now int64) {
 		// its snapshot; discard them until it lands.
 		w.awaitSync[d] = w.logID[d] >= 0
 		w.send(topology.Direction(d), Msg{Type: MsgAwake, From: w.id, To: -1})
+	}
+}
+
+// assertGatedQuiescent checks (flovdebug builds) that a power-gated
+// router's pipeline is truly dark: no flit has crossed its crossbar
+// since commitSleep and its input buffers stay empty — traffic may only
+// pass through the FLOV latch bypass.
+func (w *flovRouter) assertGatedQuiescent(now int64) {
+	if w.r.Traversals != w.sleepTraversals {
+		assert.Failf("flov %d: %d flit(s) traversed the gated pipeline in state %v at cycle %d",
+			w.id, w.r.Traversals-w.sleepTraversals, w.state, now)
+	}
+	if !w.r.BuffersEmpty() {
+		assert.Failf("flov %d: input buffers non-empty while gated in state %v at cycle %d",
+			w.id, w.state, now)
 	}
 }
 

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+
+	"flov/internal/traffic"
+)
+
+// TestInvariantsUnderGating steps FLOV networks cycle by cycle and runs
+// the full structural invariant walk (buffer bounds, flit conservation,
+// per-VC credit conservation) after every cycle, independent of the
+// flovdebug build tag. Half the cores are gated, so the walk crosses
+// plenty of sleep/drain/wakeup windows and FLOV latch traffic.
+func TestInvariantsUnderGating(t *testing.T) {
+	for _, generalized := range []bool{false, true} {
+		name := "rFLOV"
+		if generalized {
+			name = "gFLOV"
+		}
+		t.Run(name, func(t *testing.T) {
+			const total = 6000
+			n, _ := buildFLOV(t, generalized, 0.5, 0.05, total, traffic.Uniform)
+			for c := int64(0); c < total; c++ {
+				n.Step()
+				n.CheckInvariants()
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"flov/internal/network"
 	"flov/internal/nlog"
 	"flov/internal/power"
+	"flov/internal/topology"
 )
 
 // Mechanism is the FLOV power-gating scheme (restricted or generalized)
@@ -124,6 +125,35 @@ func (m *Mechanism) Quiescent() bool {
 		}
 	}
 	return true
+}
+
+// HeldFlits implements network.FlitHolder: flits currently sitting in
+// FLOV output latches, which flit-conservation checks must count.
+func (m *Mechanism) HeldFlits() int {
+	held := 0
+	for _, w := range m.ws {
+		for _, f := range w.latch {
+			if f != nil {
+				held++
+			}
+		}
+	}
+	return held
+}
+
+// LinkCreditSteady implements network.LinkCreditSteady: router id's
+// credit state on port d tracks its physical neighbor one-to-one only
+// while the router is powered, is not awaiting a credit sync on that
+// port, and has not copied up a farther logical neighbor's counters.
+func (m *Mechanism) LinkCreditSteady(id int, d topology.Direction) bool {
+	w := m.ws[id]
+	if w.state != Active && w.state != Draining {
+		return false
+	}
+	if d == topology.Local {
+		return true
+	}
+	return !w.awaitSync[d] && w.physID[d] >= 0 && w.logID[d] == w.physID[d]
 }
 
 // SleepStats sums transition counters across routers (tests, reports).

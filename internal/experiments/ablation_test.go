@@ -43,7 +43,7 @@ func TestAblationZeroWakeup(t *testing.T) {
 
 // Saturation: latency grows (weakly) with offered load for the baseline.
 func TestSaturationMonotoneBaseline(t *testing.T) {
-	if testing.Short() {
+	if testing.Short() || raceDetectorOn {
 		t.Skip("saturation sweep")
 	}
 	rows, err := SaturationSweep(traffic.Uniform, 0.0, shapeOpts)

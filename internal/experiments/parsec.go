@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 
 	"flov/internal/config"
 	"flov/internal/sweep"
@@ -102,7 +103,7 @@ func ParsecSweep(o Options) ([]ParsecRow, error) {
 				switch {
 				case base.Err != "":
 					row.Err = fmt.Sprintf("baseline reference failed: %s", base.Err)
-				case base.Out.StaticPJ == 0 || base.Out.TotalPJ == 0 || base.Out.RuntimeCyc == 0:
+				case base.Out.StaticPJ <= 0 || base.Out.TotalPJ <= 0 || base.Out.RuntimeCyc == 0:
 					row.Err = "baseline reference is degenerate (zero energy or runtime)"
 				default:
 					row.NormStatic = out.StaticPJ / base.Out.StaticPJ
@@ -146,9 +147,18 @@ func Summarize(rows []ParsecRow) Headline {
 			a.gflov = r
 		}
 	}
+	// Iterate benchmarks in sorted order: float accumulation is not
+	// associative, so summing in map order would make the headline
+	// numbers differ between runs of the same sweep.
+	var names []string
+	for name := range byBench {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var h Headline
-	for _, a := range byBench {
-		if a.base.StaticPJ == 0 || a.rp.StaticPJ == 0 || a.gflov.StaticPJ == 0 {
+	for _, name := range names {
+		a := byBench[name]
+		if a.base.StaticPJ <= 0 || a.rp.StaticPJ <= 0 || a.gflov.StaticPJ <= 0 {
 			continue
 		}
 		h.Benchmarks++

@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiments
+
+// raceDetectorOn is false in ordinary test builds; see race_on_test.go.
+const raceDetectorOn = false

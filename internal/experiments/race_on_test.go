@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceDetectorOn reports that this test binary was built with -race.
+// The race detector slows the simulator roughly 5x, so the heaviest
+// full-grid sweeps skip under it to keep the package inside go test's
+// default 10-minute budget; the race jobs still run every protocol,
+// equivalence and engine-concurrency test.
+const raceDetectorOn = true

@@ -153,7 +153,7 @@ func mustProfile(t *testing.T, name string) trace.Profile {
 // Scaling: RP's latency penalty must grow with mesh size while gFLOV's
 // stays bounded — the distributed-vs-centralized scaling argument.
 func TestShapeScaling(t *testing.T) {
-	if testing.Short() {
+	if testing.Short() || raceDetectorOn {
 		t.Skip("multi-size sweep")
 	}
 	rows, err := ScalingSweep(shapeOpts)

@@ -1,0 +1,29 @@
+package network
+
+import (
+	"testing"
+
+	"flov/internal/config"
+	"flov/internal/traffic"
+)
+
+// TestBaselineInvariantsEveryCycle drives a baseline network step by
+// step with the invariant walk after every cycle, independent of the
+// flovdebug build tag. Baseline never rewrites credit counters, so every
+// link is held to strict per-VC credit conservation the whole run.
+func TestBaselineInvariantsEveryCycle(t *testing.T) {
+	const total = 5000
+	cfg := config.Default()
+	cfg.TotalCycles = total
+	cfg.WarmupCycles = total / 10
+	mesh := mustMesh(t, cfg)
+	gen := traffic.NewGenerator(traffic.Uniform, mesh, nil)
+	n, err := New(cfg, NewBaseline(), nil, gen, 0.08)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for c := int64(0); c < total; c++ {
+		n.Step()
+		n.CheckInvariants()
+	}
+}

@@ -7,6 +7,7 @@ package network
 import (
 	"fmt"
 
+	"flov/internal/assert"
 	"flov/internal/config"
 	"flov/internal/gating"
 	"flov/internal/nlog"
@@ -282,6 +283,12 @@ func (n *Network) Step() {
 	// 5. Leakage integration.
 	on, gated := n.Mech.RouterPowerCounts()
 	n.Ledger.TickStatic(on, gated, n.Mech.FLOVCapable())
+
+	// 6. Runtime invariants (flovdebug builds only; compiled away
+	// otherwise).
+	if assert.On {
+		n.CheckInvariants()
+	}
 
 	n.now++
 }

@@ -62,6 +62,9 @@ func newNI(id int, cfg config.Config, st *stats.Collector) *NI {
 	}
 }
 
+// OutState exposes the NI's injection credit state (invariant checks).
+func (ni *NI) OutState() *noc.OutputVCState { return ni.out }
+
 // Connect wires the NI's four channel endpoints.
 func (ni *NI) Connect(send, recv *sim.Delay[*noc.Flit], credIn, credOut *sim.Delay[router.Signal]) {
 	ni.sendFlit, ni.recvFlit = send, recv

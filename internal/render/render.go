@@ -49,9 +49,9 @@ func HeatMap(m topology.Mesh, value func(id int) float64) string {
 			}
 			v := value(m.ID(x, y))
 			switch {
-			case v == 0:
+			case math.Abs(v) < 1e-12:
 				b.WriteByte('.')
-			case hi == lo:
+			case hi-lo < 1e-12:
 				b.WriteByte('5')
 			default:
 				level := int(math.Round(9 * (v - lo) / (hi - lo)))

@@ -74,7 +74,7 @@ func (c *Cache) Get(j Job) (Result, bool) {
 	}
 	var e entry
 	if err := json.Unmarshal(data, &e); err != nil || e.Hash != hash {
-		os.Remove(c.path(hash))
+		_ = os.Remove(c.path(hash)) // best effort: a stale entry just misses again
 		c.misses.Add(1)
 		return Result{}, false
 	}
@@ -102,16 +102,16 @@ func (c *Cache) Put(r Result) error {
 		return err
 	}
 	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
+		_ = tmp.Close()           // the write error is the one to report
+		_ = os.Remove(tmp.Name()) // best effort: orphan temp only wastes space
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return err
 	}
 	if err := os.Rename(tmp.Name(), c.path(hash)); err != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name())
 		return err
 	}
 	c.writes.Add(1)

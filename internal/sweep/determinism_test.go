@@ -1,0 +1,104 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"flov/internal/config"
+	"flov/internal/traffic"
+)
+
+// determinismChildEnv names the env var that flips
+// TestDeterminismAcrossProcesses into its child role: when set, the test
+// writes its result rows to the named file and exits instead of spawning
+// another process.
+const determinismChildEnv = "FLOV_DETERMINISM_OUT"
+
+// determinismJobs is the fixed workload the determinism tests replay:
+// one small synthetic point per mechanism, all from the same seeds.
+func determinismJobs() []Job {
+	cfg := config.Default()
+	cfg.TotalCycles = 3000
+	cfg.WarmupCycles = 300
+	var jobs []Job
+	for _, m := range []config.Mechanism{config.Baseline, config.RP, config.RFLOV, config.GFLOV} {
+		jobs = append(jobs, Job{
+			Config:    cfg,
+			Pattern:   traffic.Uniform,
+			Rate:      0.05,
+			Frac:      0.5,
+			MaskSeed:  11,
+			Mechanism: m,
+		})
+	}
+	return jobs
+}
+
+// determinismRows runs the fixed workload and renders every result as
+// one canonical JSON row. Wall/CacheHit are excluded from the JSON form,
+// so the bytes depend only on what the simulator computed.
+func determinismRows(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, j := range determinismJobs() {
+		r := j.Run()
+		if r.Err != "" {
+			t.Fatalf("job %s failed: %s", j.Desc(), r.Err)
+		}
+		row, err := json.Marshal(r)
+		if err != nil {
+			t.Fatalf("marshal row: %v", err)
+		}
+		buf.Write(row)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// TestDeterminismInProcess pins the property flovlint protects: the same
+// seeded simulation run twice in one process yields byte-identical rows.
+func TestDeterminismInProcess(t *testing.T) {
+	first := determinismRows(t)
+	second := determinismRows(t)
+	if !bytes.Equal(first, second) {
+		t.Fatalf("same seeds, different rows across in-process runs:\nfirst:\n%ssecond:\n%s", first, second)
+	}
+}
+
+// TestDeterminismAcrossProcesses re-runs the same workload in a fresh
+// `go test -count=1` child process and asserts its rows are byte-identical
+// to this process's. A fresh process gets fresh map-iteration seeds and
+// fresh ASLR, so any ordering leak the in-process test misses shows up
+// here.
+func TestDeterminismAcrossProcesses(t *testing.T) {
+	if out := os.Getenv(determinismChildEnv); out != "" {
+		// Child role: emit rows for the parent and stop.
+		if err := os.WriteFile(out, determinismRows(t), 0o644); err != nil {
+			t.Fatalf("write child rows: %v", err)
+		}
+		return
+	}
+	if testing.Short() {
+		t.Skip("skipping child go test invocation in -short mode")
+	}
+
+	parent := determinismRows(t)
+
+	outFile := filepath.Join(t.TempDir(), "rows.json")
+	cmd := exec.Command("go", "test", "-count=1", "-run", "^TestDeterminismAcrossProcesses$", ".")
+	cmd.Env = append(os.Environ(), determinismChildEnv+"="+outFile)
+	if combined, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("child go test: %v\n%s", err, combined)
+	}
+	child, err := os.ReadFile(outFile)
+	if err != nil {
+		t.Fatalf("read child rows: %v", err)
+	}
+	if !bytes.Equal(parent, child) {
+		t.Fatalf("same seeds, different rows across processes:\nparent:\n%schild:\n%s", parent, child)
+	}
+}

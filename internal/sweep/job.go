@@ -201,8 +201,9 @@ func (j Job) Hash() string {
 		enc = []byte(fmt.Sprintf("unencodable:%#v", j))
 	}
 	h := sha256.New()
-	fmt.Fprintf(h, "%s|%s|", SchemaVersion, moduleVersion)
-	h.Write(enc)
+	// hash.Hash.Write is documented to never return an error.
+	_, _ = fmt.Fprintf(h, "%s|%s|", SchemaVersion, moduleVersion)
+	_, _ = h.Write(enc)
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -90,7 +90,9 @@ func (r *Reporter) Event(e Event) {
 	case JobStart:
 		return // line per completion keeps output bounded
 	case CacheWriteError:
-		fmt.Fprintf(r.w, "sweep: cache write failed for %s: %s\n", e.Job.Desc(), e.Err)
+		// Progress lines are best effort; a broken ticker pipe must not
+		// kill the sweep that is feeding it.
+		_, _ = fmt.Fprintf(r.w, "sweep: cache write failed for %s: %s\n", e.Job.Desc(), e.Err)
 		return
 	case JobCacheHit:
 		r.hits++
@@ -107,13 +109,13 @@ func (r *Reporter) Event(e Event) {
 	}
 	switch e.Type {
 	case JobError:
-		fmt.Fprintf(r.w, "[%*d/%d] %-40s ERROR: %s\n",
+		_, _ = fmt.Fprintf(r.w, "[%*d/%d] %-40s ERROR: %s\n",
 			width(e.Total), r.done, e.Total, e.Job.Desc(), firstLine(e.Err))
 	case JobCacheHit:
-		fmt.Fprintf(r.w, "[%*d/%d] %-40s cached\n",
+		_, _ = fmt.Fprintf(r.w, "[%*d/%d] %-40s cached\n",
 			width(e.Total), r.done, e.Total, e.Job.Desc())
 	default:
-		fmt.Fprintf(r.w, "[%*d/%d] %-40s %6.2fs  %7.1f Mcyc/s\n",
+		_, _ = fmt.Fprintf(r.w, "[%*d/%d] %-40s %6.2fs  %7.1f Mcyc/s\n",
 			width(e.Total), r.done, e.Total, e.Job.Desc(),
 			e.Wall.Seconds(), rate)
 	}
