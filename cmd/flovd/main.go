@@ -1,0 +1,116 @@
+// Command flovd is the simulation-serving daemon: a long-lived HTTP
+// service over the sweep engine, for workloads that issue many small
+// simulation requests programmatically (design-space exploration,
+// dashboards) and want a shared result cache instead of per-process
+// cold starts.
+//
+//	flovd -addr :8080                      # serve with the default cache
+//	flovsweep -server http://host:8080 ... # delegate a sweep to it
+//
+// API: POST /v1/sweeps (async submit), POST /v1/sweeps/run (NDJSON
+// stream), GET /v1/sweeps/{id}[/stream|/results], /metrics,
+// /debug/events, /healthz. Admission is bounded: when -queue jobs are
+// waiting, submissions get 429 instead of unbounded buffering. SIGTERM
+// drains gracefully: stop admitting, finish (or after -drain-grace,
+// cancel) in-flight jobs, then exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"flov/internal/service"
+	"flov/internal/sweep"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	queue := flag.Int("queue", 16, "max queued jobs before submissions are rejected with 429")
+	runners := flag.Int("runners", 1, "concurrently executing jobs")
+	workers := flag.Int("workers", 0, "engine worker goroutines per job (0 = GOMAXPROCS)")
+	jobTimeout := flag.Duration("job-timeout", 15*time.Minute, "per-job execution ceiling (0 = none)")
+	retain := flag.Int("retain", 64, "finished jobs kept queryable")
+	cacheDir := flag.String("cache-dir", "", "result cache directory (default $FLOV_SWEEP_CACHE or the user cache dir)")
+	noCache := flag.Bool("no-cache", false, "disable the shared result cache")
+	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long SIGTERM waits for in-flight jobs before canceling them")
+	enablePprof := flag.Bool("pprof", false, "mount /debug/pprof/")
+	flag.Parse()
+
+	var cache *sweep.Cache
+	if !*noCache {
+		dir := *cacheDir
+		if dir == "" {
+			var err error
+			if dir, err = sweep.DefaultDir(); err != nil {
+				fatal(err)
+			}
+		}
+		var err error
+		if cache, err = sweep.NewCache(dir); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "flovd: result cache at %s\n", dir)
+	}
+
+	s := service.New(service.Config{
+		QueueDepth:  *queue,
+		Runners:     *runners,
+		Workers:     *workers,
+		JobTimeout:  *jobTimeout,
+		RetainJobs:  *retain,
+		Cache:       cache,
+		EnablePprof: *enablePprof,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "flovd: listening on %s\n", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		// Listen failure (port in use): nothing to drain.
+		s.Close()
+		fatal(err)
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "flovd: %v, draining (grace %v)\n", got, *drainGrace)
+	}
+
+	// Drain first: stop admitting, let in-flight jobs finish so their
+	// streams complete; then shut the listener down (it waits for the
+	// now-finishing handlers), then hard-stop whatever remains.
+	graceCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := s.Drain(graceCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "flovd: drain grace expired, in-flight jobs canceled\n")
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		_ = httpSrv.Close()
+	}
+	s.Close()
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "flovd: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flovd:", err)
+	os.Exit(1)
+}

@@ -28,6 +28,8 @@ import (
 	"time"
 
 	"flov"
+	"flov/internal/service"
+	"flov/internal/service/client"
 	"flov/internal/sweep"
 )
 
@@ -51,7 +53,21 @@ func main() {
 	format := flag.String("format", "csv", "output format: csv|json")
 	out := flag.String("out", "", "output file (default stdout)")
 	quiet := flag.Bool("quiet", false, "suppress the per-job progress ticker")
+	server := flag.String("server", "", "delegate the sweep to a running flovd at this base URL (cache flags then apply server-side)")
 	flag.Parse()
+
+	if *server != "" {
+		if *clearCache {
+			fatal(fmt.Errorf("-clear-cache is local-only; the -server cache belongs to flovd"))
+		}
+		spec, err := buildSpec(*specPath, *patterns, *rates, *fracs, *mechs, *benches,
+			*width, *height, *cycles, *warmup, *seed, *maxCycles)
+		if err != nil {
+			fatal(err)
+		}
+		runRemote(*server, spec, *format, *out, *quiet)
+		return
+	}
 
 	cache, err := openCache(*cacheDir, *noCache)
 	if err != nil {
@@ -98,34 +114,7 @@ func main() {
 	results := engine.Run(ctx, jobs)
 	stats := sweep.Summarize(results, time.Since(start))
 
-	w := os.Stdout
-	var outFile *os.File
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		outFile = f
-		w = f
-	}
-	switch *format {
-	case "csv":
-		err = writeCSV(w, results)
-	case "json":
-		enc := json.NewEncoder(w)
-		enc.SetIndent("", " ")
-		err = enc.Encode(results)
-	default:
-		err = fmt.Errorf("unknown format %q (want csv or json)", *format)
-	}
-	// Close before reporting: a close error on a freshly written file
-	// means rows may not have reached the disk.
-	if outFile != nil {
-		if cerr := outFile.Close(); err == nil {
-			err = cerr
-		}
-	}
-	if err != nil {
+	if err := writeRows(results, *format, *out); err != nil {
 		fatal(err)
 	}
 
@@ -135,15 +124,86 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cache %s: %d hits, %d misses, %d writes\n",
 			cache.Dir(), hits, misses, writes)
 	}
-	if stats.Errors > 0 {
-		fmt.Fprintf(os.Stderr, "%d points failed:\n", stats.Errors)
-		for _, r := range results {
-			if r.Err != "" {
-				fmt.Fprintf(os.Stderr, "  %s: %s\n", r.Job.Desc(), firstLine(r.Err))
-			}
+	exitOnFailures(results, stats.Errors)
+}
+
+// runRemote delegates the sweep to a flovd daemon: same spec, same
+// output paths and exit codes, progress ticker fed by the NDJSON
+// stream instead of local engine callbacks.
+func runRemote(base string, spec flov.SweepSpec, format, out string, quiet bool) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	onEvent := func(ev service.StreamEvent) {
+		if quiet {
+			return
 		}
-		os.Exit(1)
+		switch {
+		case ev.Type == service.EventAccepted:
+			fmt.Fprintf(os.Stderr, "flovd accepted job %s (%d points)\n", ev.ID, ev.Total)
+		case ev.Type == service.EventPoint && ev.Status == service.PointError:
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-40s ERROR: %s\n", ev.Index+1, ev.Total, ev.Desc, firstLine(ev.Err))
+		case ev.Type == service.EventPoint:
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-40s %s (%.2fs)\n", ev.Index+1, ev.Total, ev.Desc, ev.Status, ev.WallMS/1000)
+		}
 	}
+	results, stats, err := client.New(base).Run(ctx, spec, onEvent)
+	if err != nil {
+		fatal(err)
+	}
+	if err := writeRows(results, format, out); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, stats)
+	exitOnFailures(results, stats.Errors)
+}
+
+// writeRows renders results to -out (or stdout) in the chosen format.
+func writeRows(results []flov.SweepResult, format, out string) error {
+	w := os.Stdout
+	var outFile *os.File
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		outFile = f
+		w = f
+	}
+	var err error
+	switch format {
+	case "csv":
+		err = writeCSV(w, results)
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		err = enc.Encode(results)
+	default:
+		err = fmt.Errorf("unknown format %q (want csv or json)", format)
+	}
+	// Close before reporting: a close error on a freshly written file
+	// means rows may not have reached the disk.
+	if outFile != nil {
+		if cerr := outFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// exitOnFailures lists failed points on stderr and exits 1, matching
+// the local engine path's contract.
+func exitOnFailures(results []flov.SweepResult, errs int) {
+	if errs == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%d points failed:\n", errs)
+	for _, r := range results {
+		if r.Err != "" {
+			fmt.Fprintf(os.Stderr, "  %s: %s\n", r.Job.Desc(), firstLine(r.Err))
+		}
+	}
+	os.Exit(1)
 }
 
 // openCache resolves the cache directory and opens the store.

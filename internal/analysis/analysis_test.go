@@ -121,6 +121,60 @@ func TestNondetAllowlistedPath(t *testing.T) {
 	}
 }
 
+// TestNondetServiceAllowlisted reloads the fixture under the serving
+// layer's import paths: flovd is a wall-clock program (queues, HTTP
+// deadlines, metrics), so the nondeterm analyzer must stay silent for
+// internal/service and its subpackages.
+func TestNondetServiceAllowlisted(t *testing.T) {
+	for _, path := range []string{"flov/internal/service", "flov/internal/service/client"} {
+		loader, _ := newTestLoader(t, path)
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range RunPackage(pkg, []*Analyzer{NondetAnalyzer}) {
+			t.Errorf("%s: allowlisted package flagged: %s", path, d)
+		}
+	}
+}
+
+// TestNondetSimulationStaysForbidden pins the other side of the
+// serving-layer carve-out: core simulation packages must still reject
+// wall-clock time and ambient randomness, with exactly the findings the
+// fixture's markers declare.
+func TestNondetSimulationStaysForbidden(t *testing.T) {
+	for _, path := range []string{"flov/internal/network/fixture", "flov/internal/sim/fixture"} {
+		loader, dir := newTestLoader(t, path)
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[finding]int)
+		for _, d := range RunPackage(pkg, []*Analyzer{NondetAnalyzer}) {
+			got[finding{filepath.Base(d.Pos.Filename), d.Pos.Line, d.Rule}]++
+		}
+		want := make(map[finding]int)
+		for f, n := range wantFindings(t, dir) {
+			if f.rule == NondetAnalyzer.Name {
+				want[f] = n
+			}
+		}
+		if len(want) == 0 {
+			t.Fatal("fixture declares no nondeterm markers")
+		}
+		for f, n := range want {
+			if got[f] != n {
+				t.Errorf("%s: %s:%d: want %d nondeterm finding(s), got %d", path, f.file, f.line, n, got[f])
+			}
+		}
+		for f, n := range got {
+			if want[f] == 0 {
+				t.Errorf("%s: %s:%d: unexpected nondeterm finding (x%d)", path, f.file, f.line, n)
+			}
+		}
+	}
+}
+
 // TestDiscoverSkipsTestdata checks that ./... expansion covers the real
 // packages but never descends into testdata fixtures.
 func TestDiscoverSkipsTestdata(t *testing.T) {

@@ -19,6 +19,8 @@ var wallClockAllowed = []string{
 	"flov/examples/",         // example programs
 	"flov/internal/sweep",    // engine wall timing + cache timestamps
 	"flov/internal/analysis", // this tool
+	"flov/internal/service",  // serving layer: real deadlines, queues, metrics
+	"flov/internal/service/", // ... and its subpackages (client)
 }
 
 // wallClockFuncs are the time-package functions that read the wall

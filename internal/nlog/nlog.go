@@ -23,6 +23,7 @@ const (
 	KPacket                 // packet injected/delivered
 	KReconfig               // Router Parking reconfiguration
 	KGating                 // core-gating mask change
+	KService                // serving-layer lifecycle (flovd job queue, drain)
 	numKinds
 )
 
@@ -41,6 +42,8 @@ func (k Kind) String() string {
 		return "reconfig"
 	case KGating:
 		return "gating"
+	case KService:
+		return "service"
 	default:
 		return "?"
 	}

@@ -1,0 +1,220 @@
+// Package client is the Go client for a running flovd daemon. It is
+// used by `flovsweep -server` and by end-to-end tests; the wire types
+// live in the service package so client and server cannot drift.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"flov/internal/service"
+	"flov/internal/sweep"
+)
+
+// Client talks to one flovd base URL. The zero HTTP client is replaced
+// with a default whose transport has no overall timeout: streams are
+// long-lived by design, per-call lifetimes come from the context.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the daemon at base (e.g. "http://host:8080").
+func New(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+}
+
+// apiError decodes a non-2xx response into an error carrying the
+// server's message and status code.
+func apiError(resp *http.Response) error {
+	defer func() { _ = resp.Body.Close() }()
+	var body service.ErrorBody
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err == nil && json.Unmarshal(data, &body) == nil && body.Error != "" {
+		return fmt.Errorf("flovd: %s (HTTP %d)", body.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("flovd: HTTP %d", resp.StatusCode)
+}
+
+func (c *Client) postSpec(ctx context.Context, path string, spec sweep.Spec) (*http.Response, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("client: encode spec: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.http.Do(req)
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// Submit enqueues a spec fire-and-forget and returns its job status
+// (ID, queue state, dedup flag). The job runs server-side regardless of
+// this client's lifetime.
+func (c *Client) Submit(ctx context.Context, spec sweep.Spec) (service.JobStatus, error) {
+	resp, err := c.postSpec(ctx, "/v1/sweeps", spec)
+	if err != nil {
+		return service.JobStatus{}, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return service.JobStatus{}, apiError(resp)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	var st service.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return service.JobStatus{}, fmt.Errorf("client: decode submit response: %w", err)
+	}
+	return st, nil
+}
+
+// Status polls a job.
+func (c *Client) Status(ctx context.Context, id string) (service.JobStatus, error) {
+	var st service.JobStatus
+	err := c.getJSON(ctx, "/v1/sweeps/"+id, &st)
+	return st, err
+}
+
+// Results fetches the result rows of a finished job.
+func (c *Client) Results(ctx context.Context, id string) ([]sweep.Result, error) {
+	var rows []sweep.Result
+	if err := c.getJSON(ctx, "/v1/sweeps/"+id+"/results", &rows); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// Metrics fetches the raw /metrics exposition (tests and diagnostics).
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", apiError(resp)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	data, err := io.ReadAll(resp.Body)
+	return string(data), err
+}
+
+// Run submits a spec on the streaming path and follows it to
+// completion, returning one result per point in job order plus the
+// server's summary stats. onEvent, when non-nil, sees every stream
+// event as it arrives (progress tickers). Cancelling ctx tears the
+// stream down; if no other submitter shares the job, the server cancels
+// it and frees its queue slot.
+//
+// Per-invocation fields the result JSON intentionally omits (CacheHit,
+// Wall) are restored from the stream's progress metadata, so callers
+// see the same rows a local engine run would produce.
+func (c *Client) Run(ctx context.Context, spec sweep.Spec, onEvent func(service.StreamEvent)) ([]sweep.Result, sweep.Stats, error) {
+	resp, err := c.postSpec(ctx, "/v1/sweeps/run", spec)
+	if err != nil {
+		return nil, sweep.Stats{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, sweep.Stats{}, apiError(resp)
+	}
+	defer func() { _ = resp.Body.Close() }()
+
+	var (
+		results []sweep.Result
+		stats   sweep.Stats
+		state   string
+		failure string
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var ev service.StreamEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, sweep.Stats{}, fmt.Errorf("client: bad stream line: %w", err)
+		}
+		if onEvent != nil {
+			onEvent(ev)
+		}
+		switch ev.Type {
+		case service.EventAccepted:
+			results = make([]sweep.Result, ev.Total)
+		case service.EventPoint:
+			if ev.Result != nil && ev.Index < len(results) {
+				r := *ev.Result
+				r.CacheHit = ev.Status == service.PointCached
+				r.Wall = time.Duration(ev.WallMS * float64(time.Millisecond))
+				results[ev.Index] = r
+			}
+		case service.EventSummary:
+			state = ev.State
+			failure = ev.Err
+			if ev.Stats != nil {
+				stats = *ev.Stats
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, sweep.Stats{}, fmt.Errorf("client: stream: %w", err)
+	}
+	switch state {
+	case service.StateDone:
+		return results, stats, nil
+	case service.StateCanceled:
+		return nil, sweep.Stats{}, fmt.Errorf("flovd: job canceled: %s", failure)
+	default:
+		return nil, sweep.Stats{}, fmt.Errorf("flovd: stream ended without a summary")
+	}
+}
+
+// Wait polls until the job reaches a terminal state or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (service.JobStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State == service.StateDone || st.State == service.StateCanceled {
+			return st, nil
+		}
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}

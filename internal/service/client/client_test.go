@@ -1,0 +1,183 @@
+package client_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"flov/internal/service"
+	"flov/internal/service/client"
+	"flov/internal/sweep"
+)
+
+// testSpec mirrors the serving-layer tests: a tiny 4x4 baseline point
+// per rate, fast enough to simulate in milliseconds.
+func testSpec(rates ...float64) sweep.Spec {
+	return sweep.Spec{
+		Patterns:   []string{"uniform"},
+		Rates:      rates,
+		GatedFracs: []float64{0.5},
+		Mechanisms: []string{"baseline"},
+		Width:      4, Height: 4,
+		Cycles: 4_000, Warmup: 500,
+		Seed: 7,
+	}
+}
+
+// newServer stands up a full daemon (service + HTTP front end) and a
+// client pointed at it.
+func newServer(t *testing.T, cfg service.Config) (*client.Client, *service.Server) {
+	t.Helper()
+	s := service.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return client.New(ts.URL), s
+}
+
+// stripTransient zeroes the per-invocation fields (wall time, cache
+// provenance) so rows from different runs compare equal.
+func stripTransient(rows []sweep.Result) []sweep.Result {
+	out := make([]sweep.Result, len(rows))
+	for i, r := range rows {
+		r.Wall = 0
+		r.CacheHit = false
+		out[i] = r
+	}
+	return out
+}
+
+// TestRunMatchesDirectEngine checks the client's streaming Run path
+// returns the same rows (and restored CacheHit metadata) a local engine
+// run would produce.
+func TestRunMatchesDirectEngine(t *testing.T) {
+	cache, err := sweep.NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := newServer(t, service.Config{Cache: cache})
+	spec := testSpec(0.01, 0.02)
+
+	points, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := (&sweep.Engine{}).Run(context.Background(), points)
+
+	var events int
+	served, stats, err := c.Run(context.Background(), spec, func(service.StreamEvent) { events++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripTransient(served), stripTransient(direct)) {
+		t.Fatalf("served rows differ from direct engine run:\nserved %+v\ndirect %+v", served, direct)
+	}
+	for i, r := range served {
+		if r.CacheHit {
+			t.Errorf("point %d: CacheHit on a cold cache", i)
+		}
+	}
+	// accepted + per-point start/done + summary, at minimum.
+	if events < 2*len(points)+2 {
+		t.Errorf("onEvent saw %d events, want at least %d", events, 2*len(points)+2)
+	}
+	if stats.Jobs != len(points) || stats.Errors != 0 {
+		t.Errorf("stats = %+v, want %d jobs, 0 errors", stats, len(points))
+	}
+
+	// A second Run is answered from the shared cache, and the client
+	// restores the CacheHit flag the result JSON omits.
+	again, _, err := c.Run(context.Background(), spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(stripTransient(again), stripTransient(direct)) {
+		t.Fatal("cached rows differ from the original run")
+	}
+	for i, r := range again {
+		if !r.CacheHit {
+			t.Errorf("point %d: CacheHit not restored on the cached rerun", i)
+		}
+	}
+}
+
+// TestSubmitStatusResults drives the async path: fire-and-forget
+// submit, poll to completion, fetch rows.
+func TestSubmitStatusResults(t *testing.T) {
+	c, _ := newServer(t, service.Config{})
+	ctx := context.Background()
+
+	st, err := c.Submit(ctx, testSpec(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.Deduped {
+		t.Fatalf("submit status = %+v, want fresh job with an ID", st)
+	}
+	final, err := c.Wait(ctx, st.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != service.StateDone || final.Done != 1 || final.Errors != 0 {
+		t.Fatalf("final status = %+v, want done with 1 point", final)
+	}
+	rows, err := c.Results(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Err != "" {
+		t.Fatalf("results = %+v, want one clean row", rows)
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m, "flovd_jobs_accepted_total") {
+		t.Error("metrics exposition missing flovd_jobs_accepted_total")
+	}
+}
+
+// TestRunContextCancel checks client-side cancellation surfaces as an
+// error instead of a hang.
+func TestRunContextCancel(t *testing.T) {
+	c, _ := newServer(t, service.Config{})
+	spec := testSpec(0.01)
+	// Slow enough that cancel wins the race, small enough that the
+	// non-preempted in-flight point doesn't stall test teardown.
+	spec.Cycles = 150_000
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Run(ctx, spec, nil)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Run returned nil after context cancellation")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after context cancellation")
+	}
+}
+
+// TestUnknownJobErrors checks API errors carry the server's message and
+// status code.
+func TestUnknownJobErrors(t *testing.T) {
+	c, _ := newServer(t, service.Config{})
+	if _, err := c.Status(context.Background(), "no-such-job"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("Status(unknown) = %v, want an HTTP 404 error", err)
+	}
+	if _, err := c.Results(context.Background(), "no-such-job"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("Results(unknown) = %v, want an HTTP 404 error", err)
+	}
+}

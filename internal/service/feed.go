@@ -1,0 +1,74 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// feed is a per-job append-only event sequence with blocking readers: a
+// late subscriber replays the buffer from the start, then follows live
+// appends until the feed closes. Buffering the full sequence is what
+// makes streams resumable and lets any number of watchers attach; job
+// counts are bounded by retention, so memory is too.
+type feed struct {
+	mu     sync.Mutex
+	events []StreamEvent
+	closed bool
+	wake   chan struct{} // closed and replaced on every append
+}
+
+func newFeed() *feed { return &feed{wake: make(chan struct{})} }
+
+// append adds an event and wakes blocked readers. Appends after close
+// are dropped (the terminal summary is the last event by construction).
+func (f *feed) append(e StreamEvent) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.events = append(f.events, e)
+	close(f.wake)
+	f.wake = make(chan struct{})
+}
+
+// close ends the sequence; blocked readers drain and stop.
+func (f *feed) close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.closed {
+		f.closed = true
+		close(f.wake)
+	}
+}
+
+// next returns event i, blocking until it exists. ok is false when the
+// feed closed before event i; err reports ctx cancellation.
+func (f *feed) next(ctx context.Context, i int) (StreamEvent, bool, error) {
+	for {
+		f.mu.Lock()
+		if i < len(f.events) {
+			e := f.events[i]
+			f.mu.Unlock()
+			return e, true, nil
+		}
+		if f.closed {
+			f.mu.Unlock()
+			return StreamEvent{}, false, nil
+		}
+		wake := f.wake
+		f.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return StreamEvent{}, false, ctx.Err()
+		}
+	}
+}
+
+// len returns the number of buffered events.
+func (f *feed) len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.events)
+}

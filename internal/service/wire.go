@@ -1,0 +1,73 @@
+package service
+
+import (
+	"flov/internal/sweep"
+)
+
+// Job lifecycle states as reported by the API.
+const (
+	StateQueued   = "queued"
+	StateRunning  = "running"
+	StateDone     = "done"
+	StateCanceled = "canceled"
+)
+
+// Stream event types, in the order a stream emits them: one "accepted",
+// then interleaved "start"/"point" events as workers progress, then a
+// single terminal "summary".
+const (
+	EventAccepted = "accepted"
+	EventStart    = "start"
+	EventPoint    = "point"
+	EventSummary  = "summary"
+)
+
+// Point statuses on "point" events.
+const (
+	PointDone   = "done"
+	PointCached = "cached"
+	PointError  = "error"
+)
+
+// StreamEvent is one NDJSON line of a job stream: progress and per-point
+// results as they complete, terminated by a summary.
+type StreamEvent struct {
+	Type string `json:"type"`
+
+	// Point progress (start/point events).
+	Index     int     `json:"index,omitempty"`
+	Total     int     `json:"total,omitempty"`
+	Desc      string  `json:"desc,omitempty"`
+	Status    string  `json:"status,omitempty"`  // done|cached|error
+	WallMS    float64 `json:"wall_ms,omitempty"` // point execution time
+	SimCycles int64   `json:"sim_cycles,omitempty"`
+	Err       string  `json:"err,omitempty"`
+
+	// Result is the finished row for point events.
+	Result *sweep.Result `json:"result,omitempty"`
+
+	// Terminal summary (and the initial accepted event's job identity).
+	ID    string       `json:"id,omitempty"`
+	State string       `json:"state,omitempty"`
+	Stats *sweep.Stats `json:"stats,omitempty"`
+}
+
+// JobStatus is the poll/submit response body.
+type JobStatus struct {
+	ID        string  `json:"id"`
+	State     string  `json:"state"`
+	Points    int     `json:"points"`
+	Done      int     `json:"done"`
+	CacheHits int     `json:"cache_hits"`
+	Errors    int     `json:"errors"`
+	WallMS    float64 `json:"wall_ms,omitempty"`
+	Err       string  `json:"err,omitempty"`
+	// Deduped marks a submission that attached to an already in-flight
+	// identical job instead of enqueueing a new one.
+	Deduped bool `json:"deduped,omitempty"`
+}
+
+// ErrorBody is the JSON error payload for non-2xx API responses.
+type ErrorBody struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,90 @@
+package stats
+
+import (
+	"math"
+	"sync"
+)
+
+// Histogram is a concurrency-safe power-of-two histogram for coarse
+// value distributions (service latencies, per-point wall times). It
+// shares the bucketing scheme of Collector's latency histogram: bucket
+// i counts observations in [2^i, 2^(i+1)). The zero value is ready to
+// use.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     int64
+	max     int64
+	buckets []int64
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	b := bucketOf(v)
+	for len(h.buckets) <= b {
+		h.buckets = append(h.buckets, 0)
+	}
+	h.buckets[b]++
+}
+
+// Snapshot returns a consistent copy of the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Count:   h.count,
+		Sum:     h.sum,
+		Max:     h.max,
+		Buckets: append([]int64(nil), h.buckets...),
+	}
+}
+
+// HistogramSnapshot is an immutable view of a Histogram.
+type HistogramSnapshot struct {
+	Count   int64
+	Sum     int64
+	Max     int64
+	Buckets []int64 // entry i counts observations in [2^i, 2^(i+1))
+}
+
+// Mean returns the average observed value (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Percentile returns an upper bound on the p-th percentile observation
+// (p in [0,100]), at power-of-two bucket resolution.
+func (s HistogramSnapshot) Percentile(p float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(p / 100 * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for b, n := range s.Buckets {
+		cum += n
+		if cum >= target {
+			hi := int64(1) << (uint(b) + 1)
+			if hi > s.Max {
+				hi = s.Max
+			}
+			return hi
+		}
+	}
+	return s.Max
+}

@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.Mean() != 0 || s.Percentile(99) != 0 {
+		t.Fatalf("empty histogram reports data: %+v", s)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{1, 2, 3, 100, -5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("Count = %d, want 5", s.Count)
+	}
+	if s.Sum != 106 { // -5 clamps to 0
+		t.Fatalf("Sum = %d, want 106", s.Sum)
+	}
+	if s.Max != 100 {
+		t.Fatalf("Max = %d, want 100", s.Max)
+	}
+	// p100 upper bound is the max itself.
+	if got := s.Percentile(100); got != 100 {
+		t.Fatalf("Percentile(100) = %d, want 100", got)
+	}
+	// The median (3rd of 5 sorted values 0,1,2,3,100) is 2; its bucket
+	// [2,4) upper-bounds it at 4.
+	if got := s.Percentile(50); got != 4 {
+		t.Fatalf("Percentile(50) = %d, want 4", got)
+	}
+}
+
+// TestHistogramConcurrent hammers Observe from many goroutines; run
+// under -race this pins the locking.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(int64(g*1000 + i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Fatalf("Count = %d, want 8000", s.Count)
+	}
+}

@@ -63,8 +63,10 @@ func (c *Cache) path(hash string) string {
 	return filepath.Join(c.dir, hash[:2], hash+".json")
 }
 
-// Get looks a job's cached result up. Corrupt or unreadable entries
-// count as misses (and are removed so the slot heals on the next Put).
+// Get looks a job's cached result up. Corrupt, truncated or otherwise
+// unusable entries count as misses (and are removed so the slot heals
+// on the next Put): the caller recomputes and rewrites instead of ever
+// seeing an error-carrying Result for a point that would simulate fine.
 func (c *Cache) Get(j Job) (Result, bool) {
 	hash := j.Hash()
 	data, err := os.ReadFile(c.path(hash))
@@ -73,7 +75,14 @@ func (c *Cache) Get(j Job) (Result, bool) {
 		return Result{}, false
 	}
 	var e entry
-	if err := json.Unmarshal(data, &e); err != nil || e.Hash != hash {
+	// Three integrity layers: the JSON must parse (truncated writes do
+	// not), the recorded key must match the slot, and the embedded job
+	// must re-hash to that key (a parseable-but-mangled body misses
+	// instead of serving rows for a different point). A cached Err is
+	// equally unusable — failures are never cached, so one on disk can
+	// only be corruption or a foreign writer — and misses too.
+	if err := json.Unmarshal(data, &e); err != nil ||
+		e.Hash != hash || e.Result.Job.Hash() != hash || e.Result.Err != "" {
 		_ = os.Remove(c.path(hash)) // best effort: a stale entry just misses again
 		c.misses.Add(1)
 		return Result{}, false

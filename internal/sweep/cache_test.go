@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"flov/internal/config"
@@ -63,6 +64,100 @@ func TestCacheCorruptEntryMisses(t *testing.T) {
 	}
 	if _, err := os.Stat(path); !os.IsNotExist(err) {
 		t.Fatal("corrupt entry was not removed")
+	}
+}
+
+// TestCacheTruncatedEntryRecovers is the failure mode a crashed writer
+// or full disk leaves behind: a truncated entry must act as a miss, the
+// engine must recompute the point (no error-carrying Result surfaces),
+// and the slot must be rewritten so the next run hits again.
+func TestCacheTruncatedEntryRecovers(t *testing.T) {
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := quickJob(config.RFLOV, 0.02, 0.5)
+	e := &Engine{Workers: 1, Cache: c}
+	cold := e.Run(context.Background(), []Job{j})
+	if cold[0].Err != "" {
+		t.Fatal(cold[0].Err)
+	}
+
+	// Truncate the entry mid-file: still bytes on disk, no longer JSON.
+	path := filepath.Join(c.Dir(), j.Hash()[:2], j.Hash()+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	warm := e.Run(context.Background(), []Job{j})
+	if warm[0].Err != "" {
+		t.Fatalf("truncated entry surfaced an error-carrying result: %s", warm[0].Err)
+	}
+	if warm[0].CacheHit {
+		t.Fatal("truncated entry was served as a cache hit")
+	}
+	if !reflect.DeepEqual(stripTransient(cold), stripTransient(warm)) {
+		t.Fatal("recomputed rows differ from the original run")
+	}
+
+	// The recompute must have rewritten the slot: third run hits.
+	third := e.Run(context.Background(), []Job{j})
+	if !third[0].CacheHit {
+		t.Fatal("recovered entry was not rewritten to the cache")
+	}
+}
+
+// TestCacheMangledBodyMisses: an entry that parses and carries the right
+// key but whose job body no longer hashes to that key (bit rot, foreign
+// writer) must miss rather than serve another point's rows.
+func TestCacheMangledBodyMisses(t *testing.T) {
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := quickJob(config.Baseline, 0.02, 0)
+	r := j.Run()
+	if err := c.Put(r); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(c.Dir(), j.Hash()[:2], j.Hash()+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip the embedded job's seed: still valid JSON, wrong content.
+	mangled := strings.Replace(string(data), `"Seed": 7`, `"Seed": 8`, 1)
+	if mangled == string(data) {
+		t.Fatal("test setup: seed field not found in entry")
+	}
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(j); ok {
+		t.Fatal("mangled entry served as a hit")
+	}
+}
+
+// TestCacheNeverServesCachedErrors: an error-carrying entry on disk
+// (corruption or a foreign writer; the engine never caches failures)
+// misses so the point recomputes.
+func TestCacheNeverServesCachedErrors(t *testing.T) {
+	c, err := NewCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := quickJob(config.Baseline, 0.02, 0)
+	r := j.Run()
+	r.Err = "injected failure"
+	if err := c.Put(r); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(j); ok {
+		t.Fatal("error-carrying entry served as a hit")
 	}
 }
 

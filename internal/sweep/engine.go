@@ -20,9 +20,10 @@ type Engine struct {
 	// concurrent use (Reporter is).
 	Progress Progress
 
-	// runJob lets tests substitute the job runner (panic injection,
-	// timing control). Nil means Job.Run.
-	runJob func(Job) Result
+	// RunJob, when non-nil, substitutes the job runner (tests use it
+	// for panic injection and timing control; the serving layer's tests
+	// use it to block points on demand). Nil means Job.Run.
+	RunJob func(Job) Result
 }
 
 // Run executes jobs and returns one Result per job, in job order,
@@ -83,7 +84,7 @@ func (e *Engine) one(index, total int, j Job) Result {
 		if r, ok := e.Cache.Get(j); ok {
 			r.CacheHit = true
 			e.emit(Event{Type: JobCacheHit, Index: index, Total: total, Job: j,
-				Wall: r.Wall, SimCycles: r.SimCycles()})
+				Wall: r.Wall, SimCycles: r.SimCycles(), Result: &r})
 			return r
 		}
 	}
@@ -98,7 +99,7 @@ func (e *Engine) one(index, total int, j Job) Result {
 	}
 
 	ev := Event{Type: JobDone, Index: index, Total: total, Job: j,
-		Wall: r.Wall, SimCycles: r.SimCycles()}
+		Wall: r.Wall, SimCycles: r.SimCycles(), Result: &r}
 	if r.Err != "" {
 		ev.Type = JobError
 		ev.Err = r.Err
@@ -122,8 +123,8 @@ func (e *Engine) guardedRun(j Job) (r Result) {
 			}
 		}
 	}()
-	if e.runJob != nil {
-		return e.runJob(j)
+	if e.RunJob != nil {
+		return e.RunJob(j)
 	}
 	return j.Run()
 }

@@ -64,7 +64,7 @@ func TestEngineResultOrdering(t *testing.T) {
 	}
 	e := &Engine{
 		Workers: 8,
-		runJob: func(j Job) Result {
+		RunJob: func(j Job) Result {
 			time.Sleep(time.Duration(16-j.MaskSeed) * time.Millisecond)
 			return Result{Job: j}
 		},
@@ -87,7 +87,7 @@ func TestEnginePanicIsolation(t *testing.T) {
 	}
 	e := &Engine{
 		Workers: 3,
-		runJob: func(j Job) Result {
+		RunJob: func(j Job) Result {
 			if j.MaskSeed == 2 {
 				panic("boom")
 			}
@@ -119,7 +119,7 @@ func TestEngineCancellation(t *testing.T) {
 	}
 	e := &Engine{
 		Workers: 2,
-		runJob: func(j Job) Result {
+		RunJob: func(j Job) Result {
 			cancel()
 			// Keep the workers busy so the feeder observes the cancel
 			// before another worker frees up.
@@ -163,7 +163,7 @@ func TestEngineProgressEvents(t *testing.T) {
 		}
 	})
 	jobs := testGrid()
-	e := &Engine{Workers: 4, Progress: obs, runJob: func(j Job) Result { return Result{Job: j} }}
+	e := &Engine{Workers: 4, Progress: obs, RunJob: func(j Job) Result { return Result{Job: j} }}
 	e.Run(context.Background(), jobs)
 	if counts[JobStart] != 8 || counts[JobDone] != 8 {
 		t.Fatalf("unexpected event counts: %v", counts)

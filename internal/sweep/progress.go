@@ -56,6 +56,10 @@ type Event struct {
 	SimCycles int64
 	// Err carries the failure message for JobError/CacheWriteError.
 	Err string
+	// Result is the finished row for JobDone/JobCacheHit/JobError
+	// events (nil for JobStart/CacheWriteError). Observers that stream
+	// rows as they complete read it; the terminal Reporter ignores it.
+	Result *Result
 }
 
 // Progress observes sweep execution. Implementations are called
