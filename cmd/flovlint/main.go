@@ -2,14 +2,25 @@
 // analyzers over the module: no ambient randomness or wall-clock time
 // in simulation packages, no map-iteration order leaking into results,
 // no float == comparisons, no copied locks, no silently discarded
-// errors. See internal/analysis for the rules and the
-// //flovlint:allow suppression syntax.
+// errors, exhaustive enum switches, lock discipline in the serving
+// layer, and — module-wide, over the static call graph — a proof that
+// the simulation entry points never transitively reach a wall-clock,
+// math/rand, environment, or map-order source. See internal/analysis
+// for the rules and the //flovlint:allow suppression syntax.
 //
 // Usage:
 //
-//	flovlint ./...              # whole module (the CI gate)
-//	flovlint ./internal/core    # one package
+//	flovlint ./...                  # whole module (the CI gate)
+//	flovlint ./internal/core        # one package
 //	flovlint -rule floatcmp ./...
+//	flovlint -json ./...            # findings as JSON on stdout
+//	flovlint -sarif out.sarif ./... # SARIF 2.1.0 log ("-" = stdout)
+//	flovlint -write-baseline ./...  # acknowledge current findings
+//
+// Findings listed in the checked-in baseline (.flovlint-baseline.json
+// at the module root, override with -baseline) are acknowledged and do
+// not fail the run; everything else does. The baseline in this repo is
+// intentionally empty.
 //
 // Exit status: 0 clean, 1 findings, 2 operational error (unparseable
 // or untypeable code included — broken code cannot be vouched for).
@@ -25,20 +36,31 @@ import (
 	"flov/internal/analysis"
 )
 
+// defaultBaselineName is the checked-in baseline file at the module root.
+const defaultBaselineName = ".flovlint-baseline.json"
+
 func main() {
 	rules := flag.String("rule", "", "comma-separated analyzer subset (default: all)")
 	tags := flag.String("tags", "", "comma-separated build tags (e.g. flovdebug)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
+	sarifOut := flag.String("sarif", "", "write a SARIF 2.1.0 log to this file (\"-\" = stdout)")
+	baselinePath := flag.String("baseline", "", "baseline file (default: "+defaultBaselineName+" at the module root)")
+	writeBaseline := flag.Bool("write-baseline", false, "rewrite the baseline to acknowledge all current findings")
+	rootsFlag := flag.String("roots", "", "comma-separated reach entry points, pkg.Func or pkg.Recv.Func (default: the built-in simulator roots)")
 	flag.Parse()
 
 	if *list {
 		for _, a := range analysis.Analyzers() {
 			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
 		}
+		for _, a := range analysis.ModuleAnalyzers() {
+			fmt.Printf("%-10s %s (module-wide)\n", a.Name, a.Doc)
+		}
 		return
 	}
 
-	analyzers, err := selectAnalyzers(*rules)
+	pkgAnalyzers, modAnalyzers, err := selectAnalyzers(*rules)
 	if err != nil {
 		fatal(err)
 	}
@@ -69,57 +91,132 @@ func main() {
 		fatal(err)
 	}
 
-	findings := 0
+	var diags []analysis.Diagnostic
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			fatal(err)
 		}
-		for _, d := range analysis.RunPackage(pkg, analyzers) {
-			rel, rerr := relToRoot(root, d)
-			if rerr != nil {
-				rel = d.String()
+		diags = append(diags, analysis.RunPackage(pkg, pkgAnalyzers)...)
+	}
+
+	if len(modAnalyzers) > 0 {
+		module := analysis.NewModule(loader.ModulePath, loader.Fset, loader.Packages())
+		if *rootsFlag != "" {
+			for _, spec := range strings.Split(*rootsFlag, ",") {
+				r, err := analysis.ParseRoot(strings.TrimSpace(spec))
+				if err != nil {
+					fatal(err)
+				}
+				module.Roots = append(module.Roots, r)
 			}
-			fmt.Println(rel)
-			findings++
+		}
+		diags = append(diags, analysis.RunModule(module, modAnalyzers)...)
+	}
+	analysis.SortDiagnostics(diags)
+
+	bpath := *baselinePath
+	if bpath == "" {
+		bpath = filepath.Join(root, defaultBaselineName)
+	}
+
+	if *writeBaseline {
+		if err := analysis.WriteBaseline(bpath, root, diags); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "flovlint: baselined %d finding(s) to %s\n", len(diags), bpath)
+		return
+	}
+
+	baseline, err := analysis.LoadBaseline(bpath)
+	if err != nil {
+		fatal(err)
+	}
+	fresh, stale := analysis.ApplyBaseline(baseline, root, diags)
+	for _, e := range stale {
+		fmt.Fprintf(os.Stderr, "flovlint: baseline entry no longer matches (fixed? remove it): %s %s: %s\n",
+			e.Rule, e.File, e.Message)
+	}
+
+	if *sarifOut != "" {
+		if err := writeSARIFOutput(*sarifOut, root, fresh); err != nil {
+			fatal(err)
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "flovlint: %d finding(s)\n", findings)
+	switch {
+	case *jsonOut:
+		if err := analysis.WriteJSON(os.Stdout, root, fresh); err != nil {
+			fatal(err)
+		}
+	default:
+		for _, d := range fresh {
+			fmt.Println(relToRoot(root, d))
+		}
+	}
+	if len(fresh) > 0 {
+		fmt.Fprintf(os.Stderr, "flovlint: %d finding(s)\n", len(fresh))
 		os.Exit(1)
 	}
 }
 
-// relToRoot rewrites a diagnostic's filename relative to the module
-// root for stable, clickable output.
-func relToRoot(root string, d analysis.Diagnostic) (string, error) {
-	rel, err := filepath.Rel(root, d.Pos.Filename)
-	if err != nil {
-		return "", err
+// writeSARIFOutput writes the SARIF log to path, with "-" for stdout.
+func writeSARIFOutput(path, root string, diags []analysis.Diagnostic) error {
+	if path == "-" {
+		return analysis.WriteSARIF(os.Stdout, root, diags)
 	}
-	d.Pos.Filename = rel
-	return d.String(), nil
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := analysis.WriteSARIF(f, root, diags); err != nil {
+		_ = f.Close() // the write error is the one worth reporting
+		return err
+	}
+	return f.Close()
 }
 
-func selectAnalyzers(rules string) ([]*analysis.Analyzer, error) {
-	all := analysis.Analyzers()
+// relToRoot rewrites a diagnostic's filename relative to the module
+// root for stable, clickable output.
+func relToRoot(root string, d analysis.Diagnostic) string {
+	rel, err := filepath.Rel(root, d.Pos.Filename)
+	if err != nil {
+		return d.String()
+	}
+	d.Pos.Filename = rel
+	return d.String()
+}
+
+// selectAnalyzers resolves a -rule list against both the per-package
+// and the module-wide analyzer sets.
+func selectAnalyzers(rules string) ([]*analysis.Analyzer, []*analysis.ModuleAnalyzer, error) {
+	pkgAll := analysis.Analyzers()
+	modAll := analysis.ModuleAnalyzers()
 	if rules == "" {
-		return all, nil
+		return pkgAll, modAll, nil
 	}
-	byName := make(map[string]*analysis.Analyzer, len(all))
-	for _, a := range all {
-		byName[a.Name] = a
+	pkgByName := make(map[string]*analysis.Analyzer, len(pkgAll))
+	for _, a := range pkgAll {
+		pkgByName[a.Name] = a
 	}
-	var out []*analysis.Analyzer
+	modByName := make(map[string]*analysis.ModuleAnalyzer, len(modAll))
+	for _, a := range modAll {
+		modByName[a.Name] = a
+	}
+	var pkgOut []*analysis.Analyzer
+	var modOut []*analysis.ModuleAnalyzer
 	for _, name := range strings.Split(rules, ",") {
 		name = strings.TrimSpace(name)
-		a, ok := byName[name]
-		if !ok {
-			return nil, fmt.Errorf("unknown analyzer %q", name)
+		if a, ok := pkgByName[name]; ok {
+			pkgOut = append(pkgOut, a)
+			continue
 		}
-		out = append(out, a)
+		if a, ok := modByName[name]; ok {
+			modOut = append(modOut, a)
+			continue
+		}
+		return nil, nil, fmt.Errorf("unknown analyzer %q", name)
 	}
-	return out, nil
+	return pkgOut, modOut, nil
 }
 
 func fatal(err error) {

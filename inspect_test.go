@@ -1,11 +1,17 @@
 package flov_test
 
 import (
+	"flag"
+	"os"
 	"strings"
 	"testing"
 
 	"flov"
 )
+
+// updateGolden regenerates testdata/inspect_golden.txt instead of
+// comparing against it.
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
 func buildRan(t *testing.T, mech flov.Mechanism) *flov.Network {
 	t.Helper()
@@ -69,6 +75,97 @@ func TestRenderSideBySide(t *testing.T) {
 	out := flov.RenderSideBySide(n)
 	if len(strings.Split(strings.TrimSpace(out), "\n")) < 8 {
 		t.Fatalf("short output:\n%s", out)
+	}
+}
+
+func TestRenderHeatMap(t *testing.T) {
+	n := buildRan(t, flov.GFLOV)
+	out := flov.RenderHeatMap(n)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("unexpected shape: %d lines\n%s", len(lines), out)
+	}
+	sawHot := false
+	for _, l := range lines {
+		for _, cell := range strings.Fields(l) {
+			isDigit := len(cell) == 1 && cell[0] >= '0' && cell[0] <= '9'
+			if !isDigit && cell != "." {
+				t.Fatalf("heat cell %q outside 0-9/. in row %q", cell, l)
+			}
+			if isDigit && cell[0] > '0' {
+				sawHot = true
+			}
+		}
+	}
+	if !sawHot {
+		t.Fatal("heat map shows no activity after a loaded run")
+	}
+}
+
+// TestPowerStateGlyphTransitions steps a network across a gating
+// reconfiguration so the intermediate Draining and Wakeup states are
+// actually observable, and checks every glyph stays in the legend
+// alphabet.
+func TestPowerStateGlyphTransitions(t *testing.T) {
+	cfg := flov.Default()
+	mesh, err := flov.NewMesh(cfg.Width, cfg.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := flov.NewSchedule(cfg.N(), []flov.GatingEvent{
+		{At: 0, Gated: flov.RandomGatedMask(mesh, 20, nil, 1)},
+		{At: 2_000, Gated: flov.RandomGatedMask(mesh, 20, nil, 2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := flov.Build(flov.SyntheticOptions{
+		Config: cfg, Mechanism: flov.GFLOV, Pattern: flov.Uniform,
+		InjRate: 0.02, Schedule: sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[rune]bool)
+	for cycle := 0; cycle < 4_000; cycle++ {
+		n.Step()
+		for id := 0; id < cfg.N(); id++ {
+			seen[flov.PowerStateGlyph(n, id)] = true
+		}
+	}
+	for g := range seen {
+		if !strings.ContainsRune("ADW.", g) {
+			t.Errorf("glyph %q outside the legend alphabet", g)
+		}
+	}
+	for _, g := range "ADW." {
+		if !seen[g] {
+			t.Errorf("glyph %q never observed across the reconfiguration", g)
+		}
+	}
+}
+
+// TestRenderGolden pins the exact rendered output of a fixed
+// deterministic run against testdata/inspect_golden.txt. The simulator
+// guarantees bit-identical results for identical options, so any drift
+// here is either a rendering change (regenerate with -update) or a
+// broken determinism contract (fix the simulator).
+func TestRenderGolden(t *testing.T) {
+	n := buildRan(t, flov.GFLOV)
+	got := flov.RenderSideBySide(n)
+	const path = "testdata/inspect_golden.txt"
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("rendered output drifted from golden (go test -run TestRenderGolden -update to regenerate):\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }
 

@@ -73,15 +73,7 @@ type allowKey struct {
 // Reportf records a diagnostic at pos unless a suppression comment
 // covers it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Fset.Position(pos)
-	if p.allowed[allowKey{position.Filename, position.Line, p.rule}] {
-		return
-	}
-	*p.diags = append(*p.diags, Diagnostic{
-		Pos:  position,
-		Rule: p.rule,
-		Msg:  fmt.Sprintf(format, args...),
-	})
+	reportf(p.Fset, p.allowed, p.diags, p.rule, pos, format, args...)
 }
 
 // TypeOf returns the type of an expression, or nil.
@@ -94,7 +86,8 @@ func (p *Pass) InModule(path string) bool {
 	return path == p.Module || strings.HasPrefix(path, p.Module+"/")
 }
 
-// Analyzers returns the full flovlint analyzer set.
+// Analyzers returns the full per-package flovlint analyzer set. The
+// module-wide set is ModuleAnalyzers.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		NondetAnalyzer,
@@ -102,6 +95,8 @@ func Analyzers() []*Analyzer {
 		FloatCmpAnalyzer,
 		CopyLockAnalyzer,
 		ErrCheckAnalyzer,
+		ExhaustiveAnalyzer,
+		LockSafeAnalyzer,
 	}
 }
 
@@ -124,6 +119,12 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		a.Run(pass)
 	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// SortDiagnostics orders findings by position, then rule.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -137,7 +138,6 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Rule < b.Rule
 	})
-	return diags
 }
 
 // collectSuppressions indexes //flovlint:allow comments. A suppression

@@ -38,6 +38,29 @@ func newTestLoader(t *testing.T, importPaths ...string) (*Loader, string) {
 	return loader, dir
 }
 
+// newDirLoader builds a loader over the real module with arbitrary
+// testdata subdirectories mapped to fake in-module import paths.
+func newDirLoader(t *testing.T, mapping map[string]string) *Loader {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.Overrides = make(map[string]string)
+	for path, subdir := range mapping {
+		dir, err := filepath.Abs(filepath.Join("testdata", subdir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		loader.Overrides[path] = dir
+	}
+	return loader
+}
+
 // wantFindings scans the fixture sources for trailing
 // "// want <rule>..." markers.
 func wantFindings(t *testing.T, dir string) map[finding]int {
@@ -194,5 +217,28 @@ func TestDiscoverSkipsTestdata(t *testing.T) {
 		if !seen[must] {
 			t.Errorf("Discover missed %s (got %d packages)", must, len(paths))
 		}
+	}
+}
+
+// TestDiscoverSubtreePattern checks ./dir/... expansion: everything at
+// or under the prefix, nothing outside it.
+func TestDiscoverSubtreePattern(t *testing.T) {
+	loader, _ := newTestLoader(t)
+	paths, err := loader.Discover([]string{"./cmd/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("./cmd/... matched nothing")
+	}
+	seen := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		seen[p] = true
+		if p != "flov/cmd" && !strings.HasPrefix(p, "flov/cmd/") {
+			t.Errorf("./cmd/... leaked %s", p)
+		}
+	}
+	if !seen["flov/cmd/flovlint"] {
+		t.Errorf("./cmd/... missed flov/cmd/flovlint: %v", paths)
 	}
 }

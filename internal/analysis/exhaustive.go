@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ExhaustiveAnalyzer requires every switch over an in-module iota enum
+// (a named integer type with two or more package-level constants, like
+// core.PowerState or core.MsgType) to either cover all of the enum's
+// constants or carry an explicit default clause. Adding a handshake
+// message or power state then breaks the build of every switch that
+// silently ignored it — the compiler cannot do this for Go enums, and a
+// fallen-through MsgType is exactly how a protocol extension corrupts
+// the FSM without tripping a test.
+//
+// Constants named with a Num/num prefix (NumPorts, numKinds) are
+// counter sentinels marking the end of an iota block, not members, and
+// are not required. Type switches and switches over out-of-module
+// types are out of scope.
+var ExhaustiveAnalyzer = &Analyzer{
+	Name: "exhaustive",
+	Doc:  "require enum switches to cover every constant or declare a default",
+	Run:  runExhaustive,
+}
+
+func runExhaustive(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			p.checkEnumSwitch(sw)
+			return true
+		})
+	}
+}
+
+// enumMember is one declared constant of an enum type.
+type enumMember struct {
+	name string
+	val  constant.Value
+}
+
+// checkEnumSwitch verifies one switch statement against its tag enum.
+func (p *Pass) checkEnumSwitch(sw *ast.SwitchStmt) {
+	named := moduleEnumType(p, p.TypeOf(sw.Tag))
+	if named == nil {
+		return
+	}
+	members := enumMembers(named)
+	if len(members) < 2 {
+		return // a lone constant is a named value, not an enum
+	}
+
+	covered := make(map[string]bool) // keyed by constant.Value.String()
+	for _, stmt := range sw.Body.List {
+		clause, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if clause.List == nil {
+			return // explicit default: the author chose a fallback
+		}
+		for _, expr := range clause.List {
+			if tv, ok := p.Info.Types[expr]; ok && tv.Value != nil {
+				covered[tv.Value.String()] = true
+			} else {
+				return // non-constant case: coverage is not decidable
+			}
+		}
+	}
+
+	var missing []string
+	for _, m := range members {
+		if !covered[m.val.String()] {
+			missing = append(missing, m.name)
+		}
+	}
+	if len(missing) > 0 {
+		p.Reportf(sw.Pos(), "switch over %s misses %s; add the cases or an explicit default",
+			named.Obj().Pkg().Name()+"."+named.Obj().Name(), strings.Join(missing, ", "))
+	}
+}
+
+// moduleEnumType returns t as a named, in-module, integer-backed type,
+// or nil when the switch is out of scope.
+func moduleEnumType(p *Pass, t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !p.InModule(obj.Pkg().Path()) {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsInteger == 0 {
+		return nil
+	}
+	return named
+}
+
+// enumMembers lists the package-level constants of exactly the named
+// type, in declaration-name order, excluding Num*/num* count sentinels.
+// Distinct names aliasing one value count as a single member for
+// coverage (covering either name covers the value).
+func enumMembers(named *types.Named) []enumMember {
+	scope := named.Obj().Pkg().Scope()
+	var out []enumMember
+	seen := make(map[string]bool)
+	for _, name := range scope.Names() { // Names is sorted
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		if strings.HasPrefix(name, "Num") || strings.HasPrefix(name, "num") {
+			continue // iota-block length sentinel, not a member
+		}
+		key := c.Val().String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, enumMember{name: name, val: c.Val()})
+	}
+	return out
+}

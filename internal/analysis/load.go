@@ -161,6 +161,22 @@ func (l *Loader) Load(path string) (*Package, error) {
 	return pkg, nil
 }
 
+// Packages returns every module package the loader has brought in so
+// far — explicitly loaded ones plus module-internal dependencies —
+// sorted by import path.
+func (l *Loader) Packages() []*Package {
+	var paths []string
+	for path := range l.pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		out = append(out, l.pkgs[path])
+	}
+	return out
+}
+
 // importPkg resolves one import during type checking.
 func (l *Loader) importPkg(path string) (*types.Package, error) {
 	if path == "unsafe" {
@@ -229,6 +245,23 @@ func (l *Loader) Discover(patterns []string) ([]string, error) {
 			}
 			for _, p := range paths {
 				add(p)
+			}
+		case strings.HasSuffix(pat, "/..."):
+			// Subtree pattern like ./cmd/...: every module package at or
+			// under the prefix.
+			rel := filepath.ToSlash(filepath.Clean(strings.TrimPrefix(strings.TrimSuffix(pat, "/..."), "./")))
+			prefix := l.ModulePath
+			if rel != "." {
+				prefix = l.ModulePath + "/" + rel
+			}
+			paths, err := l.walkModule()
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				if p == prefix || strings.HasPrefix(p, prefix+"/") {
+					add(p)
+				}
 			}
 		case strings.HasPrefix(pat, "./"):
 			rel := filepath.ToSlash(filepath.Clean(strings.TrimPrefix(pat, "./")))

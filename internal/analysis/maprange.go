@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -25,6 +26,9 @@ import (
 // forgetting to sort them is still a bug, just not one it can see.)
 // Order-independent bodies — counting, map-to-map writes, max/min over
 // integers — are not flagged.
+//
+// The detection itself lives in mapRangeViolations so the module-wide
+// reach analyzer can reuse it as a forbidden-source predicate.
 var MapRangeAnalyzer = &Analyzer{
 	Name: "maprange",
 	Doc:  "forbid order-sensitive bodies under map iteration",
@@ -41,6 +45,13 @@ var writerCalls = map[string]bool{
 	"Encode": true, "Marshal": false,
 }
 
+// mapOrderViolation is one order-sensitive statement found under a
+// map-range loop.
+type mapOrderViolation struct {
+	pos token.Pos
+	msg string
+}
+
 func runMapRange(p *Pass) {
 	for _, f := range p.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -48,25 +59,51 @@ func runMapRange(p *Pass) {
 			if !ok {
 				return true
 			}
-			t := p.TypeOf(rs.X)
-			if t == nil {
-				return true
+			for _, v := range mapRangeViolations(p.Info, rs) {
+				p.Reportf(v.pos, "%s", v.msg)
 			}
-			if _, isMap := t.Underlying().(*types.Map); !isMap {
-				return true
-			}
-			if isKeyCollectLoop(p, rs) {
-				return true
-			}
-			p.checkMapRangeBody(rs)
 			return true
 		})
 	}
 }
 
+// mapRangeViolations returns the order-sensitive statements under rs,
+// or nil when rs is not a map range, is the canonical key-collect
+// idiom, or has an order-independent body.
+func mapRangeViolations(info *types.Info, rs *ast.RangeStmt) []mapOrderViolation {
+	t := info.TypeOf(rs.X)
+	if t == nil {
+		return nil
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return nil
+	}
+	if isKeyCollectLoop(info, rs) {
+		return nil
+	}
+	var out []mapOrderViolation
+	body := rs.Body
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			out = append(out, mapOrderViolation{n.Pos(),
+				"channel send inside map iteration publishes values in random order; iterate sorted keys"})
+		case *ast.AssignStmt:
+			out = append(out, mapRangeAssignViolations(info, body, n)...)
+		case *ast.CallExpr:
+			if name, ok := calleeName(n); ok && writerCalls[name] {
+				out = append(out, mapOrderViolation{n.Pos(),
+					fmt.Sprintf("%s call inside map iteration emits output in random order; iterate sorted keys", name)})
+			}
+		}
+		return true
+	})
+	return out
+}
+
 // isKeyCollectLoop recognizes the sorted-iteration idiom: a body that
 // is exactly `outer = append(outer, key)`.
-func isKeyCollectLoop(p *Pass, rs *ast.RangeStmt) bool {
+func isKeyCollectLoop(info *types.Info, rs *ast.RangeStmt) bool {
 	if len(rs.Body.List) != 1 {
 		return false
 	}
@@ -75,7 +112,7 @@ func isKeyCollectLoop(p *Pass, rs *ast.RangeStmt) bool {
 		return false
 	}
 	call, ok := as.Rhs[0].(*ast.CallExpr)
-	if !ok || !isBuiltinAppend(p, call) || len(call.Args) != 2 || call.Ellipsis != token.NoPos {
+	if !ok || !isBuiltinAppend(info, call) || len(call.Args) != 2 || call.Ellipsis != token.NoPos {
 		return false
 	}
 	keyIdent, ok := rs.Key.(*ast.Ident)
@@ -83,7 +120,7 @@ func isKeyCollectLoop(p *Pass, rs *ast.RangeStmt) bool {
 		return false
 	}
 	arg, ok := call.Args[1].(*ast.Ident)
-	if !ok || p.Info.Uses[arg] == nil || p.Info.Uses[arg] != p.Info.Defs[keyIdent] {
+	if !ok || info.Uses[arg] == nil || info.Uses[arg] != info.Defs[keyIdent] {
 		return false
 	}
 	lhs, ok := as.Lhs[0].(*ast.Ident)
@@ -91,63 +128,49 @@ func isKeyCollectLoop(p *Pass, rs *ast.RangeStmt) bool {
 	return ok && ok2 && lhs.Name == dst.Name
 }
 
-// checkMapRangeBody reports the order-sensitive statements of a
-// map-range body.
-func (p *Pass) checkMapRangeBody(rs *ast.RangeStmt) {
-	body := rs.Body
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.SendStmt:
-			p.Reportf(n.Pos(), "channel send inside map iteration publishes values in random order; iterate sorted keys")
-		case *ast.AssignStmt:
-			p.checkMapRangeAssign(body, n)
-		case *ast.CallExpr:
-			if name, ok := calleeName(n); ok && writerCalls[name] {
-				p.Reportf(n.Pos(), "%s call inside map iteration emits output in random order; iterate sorted keys", name)
-			}
-		}
-		return true
-	})
-}
-
-// checkMapRangeAssign flags appends and order-sensitive accumulation
-// targeting variables that outlive the loop body.
-func (p *Pass) checkMapRangeAssign(body *ast.BlockStmt, as *ast.AssignStmt) {
+// mapRangeAssignViolations flags appends and order-sensitive
+// accumulation targeting variables that outlive the loop body.
+func mapRangeAssignViolations(info *types.Info, body *ast.BlockStmt, as *ast.AssignStmt) []mapOrderViolation {
 	switch as.Tok {
 	case token.ASSIGN, token.DEFINE:
+		var out []mapOrderViolation
 		for _, rhs := range as.Rhs {
 			call, ok := rhs.(*ast.CallExpr)
-			if !ok || !isBuiltinAppend(p, call) {
+			if !ok || !isBuiltinAppend(info, call) {
 				continue
 			}
-			if dst, ok := call.Args[0].(*ast.Ident); ok && p.declaredWithin(dst, body) {
+			if dst, ok := call.Args[0].(*ast.Ident); ok && declaredWithin(info, dst, body) {
 				continue // scratch slice local to the body
 			}
-			p.Reportf(as.Pos(), "append inside map iteration builds a slice in random order; iterate sorted keys")
+			out = append(out, mapOrderViolation{as.Pos(),
+				"append inside map iteration builds a slice in random order; iterate sorted keys"})
 		}
+		return out
 	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
 		lhs := as.Lhs[0]
-		t := p.TypeOf(lhs)
+		t := info.TypeOf(lhs)
 		isStr := false
 		if b, ok := types.Default(t).Underlying().(*types.Basic); ok {
 			isStr = b.Info()&types.IsString != 0
 		}
 		if !isFloat(t) && !(as.Tok == token.ADD_ASSIGN && isStr) {
-			return // integer accumulation commutes; order cannot leak
+			return nil // integer accumulation commutes; order cannot leak
 		}
-		if root := rootIdent(lhs); root != nil && p.declaredWithin(root, body) {
-			return
+		if root := rootIdent(lhs); root != nil && declaredWithin(info, root, body) {
+			return nil
 		}
-		p.Reportf(as.Pos(), "%s accumulation inside map iteration is order-sensitive for %s operands; iterate sorted keys",
-			as.Tok, types.Default(t))
+		return []mapOrderViolation{{as.Pos(),
+			fmt.Sprintf("%s accumulation inside map iteration is order-sensitive for %s operands; iterate sorted keys",
+				as.Tok, types.Default(t))}}
 	}
+	return nil
 }
 
 // declaredWithin reports whether ident's declaration lies inside node.
-func (p *Pass) declaredWithin(ident *ast.Ident, node ast.Node) bool {
-	obj := p.Info.Uses[ident]
+func declaredWithin(info *types.Info, ident *ast.Ident, node ast.Node) bool {
+	obj := info.Uses[ident]
 	if obj == nil {
-		obj = p.Info.Defs[ident]
+		obj = info.Defs[ident]
 	}
 	return obj != nil && obj.Pos() >= node.Pos() && obj.Pos() < node.End()
 }
@@ -174,12 +197,12 @@ func rootIdent(e ast.Expr) *ast.Ident {
 }
 
 // isBuiltinAppend reports whether call invokes the append builtin.
-func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
 	ident, ok := call.Fun.(*ast.Ident)
 	if !ok {
 		return false
 	}
-	obj, ok := p.Info.Uses[ident].(*types.Builtin)
+	obj, ok := info.Uses[ident].(*types.Builtin)
 	return ok && obj.Name() == "append"
 }
 

@@ -91,11 +91,17 @@ func runNondet(p *Pass) {
 // selectorPackage resolves pkg.Name selectors to the imported package
 // path; ok is false when sel is not a package-qualified identifier.
 func selectorPackage(p *Pass, sel *ast.SelectorExpr) (string, bool) {
+	return selectorPkgPath(p.Info, sel)
+}
+
+// selectorPkgPath is selectorPackage over raw type information, shared
+// with the module-wide call-graph builder.
+func selectorPkgPath(info *types.Info, sel *ast.SelectorExpr) (string, bool) {
 	ident, ok := sel.X.(*ast.Ident)
 	if !ok {
 		return "", false
 	}
-	pkgName, ok := p.Info.Uses[ident].(*types.PkgName)
+	pkgName, ok := info.Uses[ident].(*types.PkgName)
 	if !ok {
 		return "", false
 	}

@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Machine-readable reporting and the finding baseline.
+//
+// The baseline file holds previously-acknowledged findings so CI can
+// fail on anything new while legacy suppressions stay visible and
+// auditable in one reviewed artifact instead of scattered allow
+// comments. Entries match on (rule, file, message) — deliberately not
+// on line numbers, so unrelated edits above a finding do not churn the
+// baseline. The intended steady state for this module is an empty
+// baseline: the file exists to make any future exception loud.
+
+// JSONFinding is one diagnostic in -json output.
+type JSONFinding struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"` // module-root-relative, slash-separated
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+}
+
+// jsonFindings converts diagnostics to their wire form with root-
+// relative paths.
+func jsonFindings(root string, diags []Diagnostic) []JSONFinding {
+	out := make([]JSONFinding, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, JSONFinding{
+			Rule:    d.Rule,
+			File:    relPath(root, d.Pos.Filename),
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Message: d.Msg,
+		})
+	}
+	return out
+}
+
+// WriteJSON emits the findings as a JSON array (never null).
+func WriteJSON(w io.Writer, root string, diags []Diagnostic) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonFindings(root, diags))
+}
+
+// SARIF wire structs — the minimal subset of SARIF 2.1.0 that GitHub
+// code scanning and most viewers consume.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// RuleDocs maps analyzer names to their one-line docs, for SARIF rule
+// metadata.
+func RuleDocs() map[string]string {
+	docs := make(map[string]string)
+	for _, a := range Analyzers() {
+		docs[a.Name] = a.Doc
+	}
+	for _, a := range ModuleAnalyzers() {
+		docs[a.Name] = a.Doc
+	}
+	return docs
+}
+
+// WriteSARIF emits the findings as a SARIF 2.1.0 log.
+func WriteSARIF(w io.Writer, root string, diags []Diagnostic) error {
+	docs := RuleDocs()
+	var names []string
+	for name := range docs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rules := make([]sarifRule, 0, len(names))
+	for _, name := range names {
+		rules = append(rules, sarifRule{ID: name, ShortDescription: sarifText{docs[name]}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Rule,
+			Level:   "error",
+			Message: sarifText{d.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: relPath(root, d.Pos.Filename)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "flovlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// BaselineEntry identifies one acknowledged finding.
+type BaselineEntry struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"` // module-root-relative, slash-separated
+	Message string `json:"message"`
+}
+
+// Baseline is the checked-in set of acknowledged findings.
+type Baseline struct {
+	Version  int             `json:"version"`
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// LoadBaseline reads a baseline file; a missing file is an empty
+// baseline (path is then simply not in use yet).
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return &Baseline{Version: 1}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("analysis: parsing baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes the findings as a fresh baseline file.
+func WriteBaseline(path, root string, diags []Diagnostic) error {
+	b := &Baseline{Version: 1}
+	seen := make(map[BaselineEntry]bool)
+	for _, d := range diags {
+		e := BaselineEntry{Rule: d.Rule, File: relPath(root, d.Pos.Filename), Message: d.Msg}
+		if !seen[e] {
+			seen[e] = true
+			b.Findings = append(b.Findings, e)
+		}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ApplyBaseline splits diags into fresh findings (not in the baseline,
+// these fail the run) and returns the stale baseline entries that
+// matched nothing (candidates for removal, reported but not fatal).
+func ApplyBaseline(b *Baseline, root string, diags []Diagnostic) (fresh []Diagnostic, stale []BaselineEntry) {
+	known := make(map[BaselineEntry]bool, len(b.Findings))
+	for _, e := range b.Findings {
+		known[e] = true
+	}
+	matched := make(map[BaselineEntry]bool)
+	for _, d := range diags {
+		e := BaselineEntry{Rule: d.Rule, File: relPath(root, d.Pos.Filename), Message: d.Msg}
+		if known[e] {
+			matched[e] = true
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range b.Findings {
+		if !matched[e] {
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}
+
+// relPath renders filename relative to the module root with forward
+// slashes, falling back to the input when it lies outside the root.
+func relPath(root, filename string) string {
+	rel, err := filepath.Rel(root, filename)
+	if err != nil || rel == "" {
+		return filepath.ToSlash(filename)
+	}
+	if len(rel) >= 2 && rel[:2] == ".." {
+		return filepath.ToSlash(filename)
+	}
+	return filepath.ToSlash(rel)
+}

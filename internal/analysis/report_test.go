@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// sampleDiags builds a small diagnostic set rooted at dir.
+func sampleDiags(dir string) []Diagnostic {
+	return []Diagnostic{
+		{
+			Pos:  token.Position{Filename: filepath.Join(dir, "internal", "a.go"), Line: 10, Column: 2},
+			Rule: "reach",
+			Msg:  "time.Now is reachable from entry point X: a -> b",
+		},
+		{
+			Pos:  token.Position{Filename: filepath.Join(dir, "internal", "b.go"), Line: 4, Column: 1},
+			Rule: "exhaustive",
+			Msg:  "switch over core.PowerState misses Wakeup; add the cases or an explicit default",
+		},
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, dir, sampleDiags(dir)); err != nil {
+		t.Fatal(err)
+	}
+	var got []JSONFinding
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 findings, got %d", len(got))
+	}
+	if got[0].File != "internal/a.go" || got[0].Line != 10 || got[0].Rule != "reach" {
+		t.Errorf("first finding mangled: %+v", got[0])
+	}
+
+	// Empty input must stay a JSON array, not null.
+	buf.Reset()
+	if err := WriteJSON(&buf, dir, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := bytes.TrimSpace(buf.Bytes()); string(got) != "[]" {
+		t.Errorf("empty findings should encode as [], got %s", got)
+	}
+}
+
+func TestWriteSARIF(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, dir, sampleDiags(dir)); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("malformed log: version=%q runs=%d", log.Version, len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "flovlint" {
+		t.Errorf("driver name: %s", run.Tool.Driver.Name)
+	}
+	ruleIDs := make(map[string]bool)
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, want := range []string{"nondeterm", "exhaustive", "locksafe", "reach"} {
+		if !ruleIDs[want] {
+			t.Errorf("rule metadata missing %s", want)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("want 2 results, got %d", len(run.Results))
+	}
+	loc := run.Results[0].Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/a.go" || loc.Region.StartLine != 10 {
+		t.Errorf("first result location mangled: %+v", loc)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	diags := sampleDiags(dir)
+	path := filepath.Join(dir, ".flovlint-baseline.json")
+
+	if err := WriteBaseline(path, dir, diags); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 2 {
+		t.Fatalf("want 2 baselined findings, got %d", len(b.Findings))
+	}
+
+	// Identical findings: nothing fresh, nothing stale. Line numbers
+	// deliberately do not participate in matching.
+	moved := append([]Diagnostic(nil), diags...)
+	moved[0].Pos.Line += 40
+	fresh, stale := ApplyBaseline(b, dir, moved)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("moved-only findings should match baseline: fresh=%v stale=%v", fresh, stale)
+	}
+
+	// A new finding is fresh; a fixed one leaves its entry stale.
+	next := []Diagnostic{
+		diags[0],
+		{
+			Pos:  token.Position{Filename: filepath.Join(dir, "internal", "c.go"), Line: 7, Column: 3},
+			Rule: "locksafe",
+			Msg:  "returns with s.mu held",
+		},
+	}
+	fresh, stale = ApplyBaseline(b, dir, next)
+	if len(fresh) != 1 || fresh[0].Rule != "locksafe" {
+		t.Errorf("want the locksafe finding fresh, got %v", fresh)
+	}
+	if len(stale) != 1 || stale[0].Rule != "exhaustive" {
+		t.Errorf("want the exhaustive entry stale, got %v", stale)
+	}
+}
+
+func TestLoadBaselineMissing(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 0 {
+		t.Errorf("missing file should load as empty baseline, got %v", b.Findings)
+	}
+}
+
+func TestLoadBaselineRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil {
+		t.Error("garbage baseline should not parse")
+	}
+}
+
+// TestCheckedInBaselineIsEmpty pins the repo's steady state: the
+// committed baseline acknowledges nothing, so every finding fails CI.
+func TestCheckedInBaselineIsEmpty(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(filepath.Join(root, ".flovlint-baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 0 {
+		t.Errorf("checked-in baseline must stay empty; found %d entries", len(b.Findings))
+	}
+}

@@ -1,0 +1,17 @@
+// Package entry is the simulation side of the reach evasion fixture:
+// Step never mentions time, rand or os, yet transitively reaches
+// time.Now through helper.Advance and the Clock interface.
+package entry
+
+import "flov/internal/evasion/helper"
+
+// Sim is a fixture stand-in for network.Network.
+type Sim struct {
+	clock helper.Clock
+	now   int64
+}
+
+// Step advances the simulation one cycle.
+func (s *Sim) Step() {
+	s.now = helper.Advance(s.clock)
+}

@@ -1,0 +1,21 @@
+// Package evclock hides time.Now behind the helper.Clock interface
+// from inside a wall-clock-allowlisted import path (the tests mount it
+// under flov/cmd/evclock). The per-package nondeterm rule is blind to
+// it by construction; the module-wide reach walk is not.
+package evclock
+
+import (
+	"time"
+
+	"flov/internal/evasion/helper"
+)
+
+// SysClock reads the wall clock.
+type SysClock struct{}
+
+// Ticks implements helper.Clock with the real time.
+func (SysClock) Ticks() int64 {
+	return time.Now().UnixNano()
+}
+
+var _ helper.Clock = SysClock{}

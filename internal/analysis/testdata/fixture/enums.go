@@ -1,0 +1,90 @@
+package fixture
+
+// Phase is an iota enum like core.PowerState: a named integer type with
+// package-level constants, so switches over it must be exhaustive.
+type Phase int
+
+const (
+	PhaseIdle Phase = iota
+	PhaseDrain
+	PhaseSleep
+	PhaseWake
+	// NumPhases is an iota-count sentinel, not a member; exhaustive
+	// switches need not cover it.
+	NumPhases
+)
+
+// PhaseInitial aliases PhaseIdle: covering either name covers the value.
+const PhaseInitial = PhaseIdle
+
+// Describe misses PhaseWake and has no default.
+func Describe(p Phase) string {
+	switch p { // want exhaustive
+	case PhaseIdle:
+		return "idle"
+	case PhaseDrain:
+		return "drain"
+	case PhaseSleep:
+		return "sleep"
+	}
+	return "?"
+}
+
+// Advance covers every member, so the missing sentinel is fine.
+func Advance(p Phase) Phase {
+	switch p {
+	case PhaseInitial: // alias of PhaseIdle: covers the value
+		return PhaseDrain
+	case PhaseDrain:
+		return PhaseSleep
+	case PhaseSleep:
+		return PhaseWake
+	case PhaseWake:
+		return PhaseIdle
+	}
+	return p
+}
+
+// Gated is incomplete but declares its fallback explicitly.
+func Gated(p Phase) bool {
+	switch p {
+	case PhaseSleep:
+		return true
+	default:
+		return false
+	}
+}
+
+// Matches switches on a non-constant case, where coverage is not
+// decidable; the analyzer stays silent.
+func Matches(p, q Phase) bool {
+	switch p {
+	case q:
+		return true
+	}
+	return false
+}
+
+// mode has a single constant: a named value, not an enum.
+type mode int
+
+const onlyMode mode = 0
+
+// useMode keeps the lone-constant type out of scope.
+func useMode(m mode) bool {
+	switch m {
+	case onlyMode:
+		return true
+	}
+	return false
+}
+
+// DescribeAllowed is Describe with the finding suppressed.
+func DescribeAllowed(p Phase) string {
+	//flovlint:allow exhaustive -- fixture: suppression must silence the rule
+	switch p {
+	case PhaseIdle:
+		return "idle"
+	}
+	return "?"
+}

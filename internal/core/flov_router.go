@@ -696,6 +696,9 @@ func (w *flovRouter) observe(d topology.Direction, m Msg) {
 			w.physState[d] = Sleep
 		case MsgWakeupReq:
 			w.physState[d] = Wakeup
+		default:
+			// Credit sync, drain votes and wake-target unicasts carry no
+			// physical power-state information.
 		}
 	}
 	switch m.Type {
@@ -728,5 +731,8 @@ func (w *flovRouter) observe(d topology.Direction, m Msg) {
 		// across this line until its MsgAwake (it could not absorb a
 		// starved line: its latches must drain before it can finish).
 		w.logState[d] = Wakeup
+	default:
+		// Credit sync, drain votes and wake-target unicasts carry no
+		// logical power-state information.
 	}
 }

@@ -72,8 +72,9 @@ func destGatedOnPath(m topology.Mesh, cur, dst int, d topology.Direction, pv Pow
 		return dx < lx
 	case topology.West:
 		return dx > lx
+	default:
+		return false // d is a cardinal direction here, never Local
 	}
-	return false
 }
 
 // FLOVRegular computes the §V partition-based dynamic route for a packet

@@ -45,8 +45,9 @@ func (p Partition) AxisDir() topology.Direction {
 		return topology.East
 	case PartW:
 		return topology.West
+	default:
+		panic("routing: AxisDir on quadrant partition")
 	}
-	panic("routing: AxisDir on quadrant partition")
 }
 
 // QuadrantDirs returns the (Y, X) direction pair toward a quadrant
@@ -61,8 +62,9 @@ func (p Partition) QuadrantDirs() (ydir, xdir topology.Direction) {
 		return topology.South, topology.West
 	case PartSE:
 		return topology.South, topology.East
+	default:
+		panic("routing: QuadrantDirs on axis partition")
 	}
-	panic("routing: QuadrantDirs on axis partition")
 }
 
 // PartitionOf classifies dst relative to cur per Fig. 4(a).

@@ -440,6 +440,9 @@ func (j *job) noteEvent(ev sweep.Event) {
 			j.cacheHits++
 		case sweep.JobError:
 			j.errors++
+		default:
+			// JobDone counts only toward done; JobStart and
+			// CacheWriteError cannot reach here (not EventPoint).
 		}
 		j.mu.Unlock()
 	}
@@ -450,6 +453,8 @@ func (j *job) noteEvent(ev sweep.Event) {
 // wrapping observer so jobProgress stays job-scoped.
 func (s *Server) notePoint(ev sweep.Event) {
 	switch ev.Type {
+	case sweep.JobStart:
+		// Starts are not point outcomes; nothing to count.
 	case sweep.JobDone:
 		s.metrics.pointsDone.Add(1)
 		s.metrics.pointWallMS.Observe(ev.Wall.Milliseconds())

@@ -102,6 +102,8 @@ func (r *Reporter) Event(e Event) {
 		r.hits++
 	case JobError:
 		r.errs++
+	case JobDone:
+		// Counts only toward the completion line below.
 	}
 	r.done++
 	r.cycles += e.SimCycles

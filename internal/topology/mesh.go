@@ -53,8 +53,9 @@ func (d Direction) Opposite() Direction {
 		return West
 	case West:
 		return East
+	default:
+		panic("topology: Opposite of non-cardinal direction")
 	}
-	panic("topology: Opposite of non-cardinal direction")
 }
 
 // IsVertical reports whether d runs along the Y dimension.
