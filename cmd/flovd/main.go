@@ -36,6 +36,7 @@ func main() {
 	runners := flag.Int("runners", 1, "concurrently executing jobs")
 	workers := flag.Int("workers", 0, "engine worker goroutines per job (0 = GOMAXPROCS)")
 	jobTimeout := flag.Duration("job-timeout", 15*time.Minute, "per-job execution ceiling (0 = none)")
+	jobSlice := flag.Duration("job-slice", 0, "preemption time slice: jobs running longer checkpoint and requeue (0 = run to completion)")
 	retain := flag.Int("retain", 64, "finished jobs kept queryable")
 	cacheDir := flag.String("cache-dir", "", "result cache directory (default $FLOV_SWEEP_CACHE or the user cache dir)")
 	noCache := flag.Bool("no-cache", false, "disable the shared result cache")
@@ -64,6 +65,7 @@ func main() {
 		Runners:     *runners,
 		Workers:     *workers,
 		JobTimeout:  *jobTimeout,
+		JobSlice:    *jobSlice,
 		RetainJobs:  *retain,
 		Cache:       cache,
 		EnablePprof: *enablePprof,

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"flov"
@@ -35,7 +36,17 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the result as JSON (same row schema as flovsweep)")
 	showMap := flag.Bool("map", false, "print the final power-state and activity maps")
 	traceN := flag.Int("trace", 0, "record and print the last N simulator events")
+	ckptFile := flag.String("checkpoint", "", "write a checkpoint to FILE every -checkpoint-every cycles (atomic overwrite)")
+	ckptEvery := flag.Int64("checkpoint-every", 0, "checkpoint cadence in cycles (requires -checkpoint)")
+	restoreFile := flag.String("restore", "", "restore simulation state from a checkpoint FILE before running")
 	flag.Parse()
+
+	if *ckptEvery > 0 && *ckptFile == "" {
+		fatal(fmt.Errorf("-checkpoint-every requires -checkpoint"))
+	}
+	if *ckptFile != "" && *ckptEvery <= 0 {
+		fatal(fmt.Errorf("-checkpoint requires a positive -checkpoint-every cadence"))
+	}
 
 	cfg := flov.Default()
 	cfg.Width, cfg.Height = *width, *height
@@ -54,7 +65,7 @@ func main() {
 
 	if *bench != "" {
 		start := time.Now()
-		out, err := flov.RunPARSEC(*bench, mech, *seed, 0)
+		out, err := runBench(*bench, mech, *seed, *restoreFile, *ckptFile, *ckptEvery)
 		if err != nil {
 			fatal(err)
 		}
@@ -89,7 +100,27 @@ func main() {
 	if *traceN > 0 {
 		n.EnableTrace(flov.NewTraceLog(*traceN))
 	}
+	if *restoreFile != "" {
+		if err := restoreFrom(*restoreFile, n, nil); err != nil {
+			fatal(err)
+		}
+	}
 	start := time.Now()
+	if *ckptFile != "" {
+		// Advance the measurement window in cadence-sized increments,
+		// persisting a checkpoint after each; Run() then finishes whatever
+		// remains (a no-op advance) plus the drain phase.
+		for n.Now() < cfg.TotalCycles {
+			next := n.Now() + *ckptEvery
+			if next > cfg.TotalCycles {
+				next = cfg.TotalCycles
+			}
+			n.RunTo(next)
+			if err := saveCheckpoint(*ckptFile, n, nil); err != nil {
+				fatal(err)
+			}
+		}
+	}
 	res := n.Run()
 	if *jsonOut {
 		job, err := flov.SyntheticJob(opts)
@@ -125,6 +156,79 @@ func main() {
 		fmt.Printf("WARNING: %d flits undelivered\n", res.Undelivered)
 		os.Exit(1)
 	}
+}
+
+// runBench executes a closed-loop benchmark, optionally restoring from
+// and/or writing checkpoints. Without either option it defers to the
+// plain facade entry point.
+func runBench(bench string, mech flov.Mechanism, seed uint64, restoreFile, ckptFile string, ckptEvery int64) (flov.Outcome, error) {
+	if restoreFile == "" && ckptFile == "" {
+		return flov.RunPARSEC(bench, mech, seed, 0)
+	}
+	n, d, err := flov.BuildPARSEC(bench, mech, seed)
+	if err != nil {
+		return flov.Outcome{}, err
+	}
+	if restoreFile != "" {
+		if err := restoreFrom(restoreFile, n, d); err != nil {
+			return flov.Outcome{}, err
+		}
+	}
+	const maxCycles = 20_000_000
+	if ckptFile != "" {
+		for n.Now() < maxCycles && !d.Finished() {
+			next := n.Now() + ckptEvery
+			if next > maxCycles {
+				next = maxCycles
+			}
+			d.RunUntil(next)
+			if err := saveCheckpoint(ckptFile, n, d); err != nil {
+				return flov.Outcome{}, err
+			}
+		}
+	} else {
+		d.RunUntil(maxCycles)
+	}
+	out := d.Outcome()
+	if !out.Completed {
+		return out, fmt.Errorf("benchmark %s/%v did not complete within %d cycles", bench, mech, int64(maxCycles))
+	}
+	return out, nil
+}
+
+// restoreFrom applies a checkpoint file to a freshly built simulation.
+func restoreFrom(path string, n *flov.Network, d *flov.Driver) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	if err := flov.RestoreSnapshot(f, n, d); err != nil {
+		return fmt.Errorf("restoring %s: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "flovsim: restored from %s at cycle %d\n", path, n.Now())
+	return nil
+}
+
+// saveCheckpoint writes a snapshot atomically: temp file in the target
+// directory, fsync-free rename, so a crash mid-write never clobbers the
+// previous good checkpoint.
+func saveCheckpoint(path string, n *flov.Network, d *flov.Driver) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".flovsnap-*")
+	if err != nil {
+		return err
+	}
+	// Best effort: after a successful rename there is nothing to remove.
+	defer func() { _ = os.Remove(tmp.Name()) }()
+	if err := flov.SaveSnapshot(tmp, n, d); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // printJSON writes one sweep-schema row to stdout.

@@ -66,6 +66,9 @@ func DefaultReachRoots() []RootSpec {
 		{Pkg: "flov/internal/trace", Recv: "Driver", Func: "Run"},
 		{Pkg: "flov/internal/sweep", Recv: "Job", Func: "runSynthetic"},
 		{Pkg: "flov/internal/sweep", Recv: "Job", Func: "runPARSEC"},
+		// Restore rebuilds live simulation state from a checkpoint; any
+		// nondeterminism reachable from it would corrupt resumed runs.
+		{Pkg: "flov/internal/snapshot", Func: "Restore"},
 	}
 }
 

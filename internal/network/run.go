@@ -60,13 +60,7 @@ func (r Results) String() string {
 func (n *Network) Run() Results {
 	cfg := n.Cfg
 
-	for n.now < cfg.TotalCycles {
-		if n.now == cfg.WarmupCycles {
-			n.Ledger.SetEnabled(true)
-			n.ejectedAtWarmup = n.Stats.EjectedTotal()
-		}
-		n.Step()
-	}
+	n.RunTo(cfg.TotalCycles)
 	n.Ledger.SetEnabled(false)
 
 	// Drain: no new generation; run until empty or the drain budget ends.
@@ -75,6 +69,23 @@ func (n *Network) Run() Results {
 		n.Step()
 	}
 	return n.collect()
+}
+
+// RunTo advances the synthetic run loop until the cycle counter reaches
+// target (capped at TotalCycles), handling the warmup boundary exactly
+// like Run: a run advanced in increments — with checkpoints saved in
+// between — executes the same cycle sequence as an uninterrupted one.
+func (n *Network) RunTo(target int64) {
+	if target > n.Cfg.TotalCycles {
+		target = n.Cfg.TotalCycles
+	}
+	for n.now < target {
+		if n.now == n.Cfg.WarmupCycles {
+			n.Ledger.SetEnabled(true)
+			n.ejectedAtWarmup = n.Stats.EjectedTotal()
+		}
+		n.Step()
+	}
 }
 
 // RunCycles advances exactly c cycles with energy accounting already in

@@ -1,0 +1,28 @@
+package power
+
+// LedgerState is the serializable accumulator state of a Ledger. The
+// model is derived from the config and rebuilt by the caller.
+type LedgerState struct {
+	DynPJ    []float64 // one entry per DynCategory
+	StaticPJ float64
+	Cycles   int64
+	Enabled  bool
+}
+
+// CaptureState copies the ledger's accumulators.
+func (l *Ledger) CaptureState() LedgerState {
+	return LedgerState{
+		DynPJ:    append([]float64(nil), l.dynPJ[:]...),
+		StaticPJ: l.staticPJ,
+		Cycles:   l.cycles,
+		Enabled:  l.enabled,
+	}
+}
+
+// RestoreState overwrites the ledger's accumulators.
+func (l *Ledger) RestoreState(s LedgerState) {
+	copy(l.dynPJ[:], s.DynPJ)
+	l.staticPJ = s.StaticPJ
+	l.cycles = s.Cycles
+	l.enabled = s.Enabled
+}

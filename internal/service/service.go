@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flov/internal/nlog"
@@ -43,6 +44,13 @@ type Config struct {
 	// expiry the engine's context path cancels unstarted points and
 	// the job reports canceled.
 	JobTimeout time.Duration
+	// JobSlice, when positive, makes execution preemptible: a job that
+	// runs longer than one slice is checkpointed (points in flight
+	// snapshot their simulation state), requeued behind waiting jobs,
+	// and later resumed exactly where it stopped. Long sweeps stop
+	// monopolizing the runner pool while short jobs wait. 0 disables
+	// time-slicing.
+	JobSlice time.Duration
 	// RetainJobs is how many finished jobs stay queryable (status,
 	// results, stream replay) before eviction, oldest first. Default 64.
 	RetainJobs int
@@ -91,6 +99,15 @@ type job struct {
 	errors    int
 	failure   string // job-level failure note (timeout, drain)
 
+	// Preemption bookkeeping: finished rows accumulate across slices
+	// (index-aligned with points), snapshots hold the checkpoints of
+	// points paused mid-simulation, elapsed sums per-slice wall time.
+	finished  []sweep.Result
+	havePoint []bool
+	snapshots [][]byte
+	elapsed   time.Duration
+	resumes   int
+
 	doneCh chan struct{} // closed when the job reaches a terminal state
 }
 
@@ -106,6 +123,7 @@ func (j *job) status() JobStatus {
 		CacheHits: j.cacheHits,
 		Errors:    j.errors,
 		Err:       j.failure,
+		Resumes:   j.resumes,
 	}
 	if j.state == StateDone || j.state == StateCanceled {
 		st.WallMS = float64(j.stats.Wall) / float64(time.Millisecond)
@@ -233,6 +251,9 @@ func (s *Server) submit(points []sweep.Job, owned bool) (j *job, deduped bool, e
 		owned:     owned,
 		refs:      refs,
 		submitted: time.Now(),
+		finished:  make([]sweep.Result, len(points)),
+		havePoint: make([]bool, len(points)),
+		snapshots: make([][]byte, len(points)),
 		doneCh:    make(chan struct{}),
 	}
 	j.feed.append(StreamEvent{Type: EventAccepted, ID: j.id, Total: len(points), State: StateQueued})
@@ -304,7 +325,11 @@ func (s *Server) runner() {
 	}
 }
 
-// execute runs one job through the engine and finalizes it.
+// execute runs one slice of a job through the engine. Without a
+// JobSlice the slice is the whole job. With one, a slice that expires
+// preempts the engine: in-flight points checkpoint their simulation
+// state, and the job requeues behind waiting work to resume later; only
+// when every point has a durable row does the job finalize.
 func (s *Server) execute(j *job) {
 	j.mu.Lock()
 	if j.state != StateQueued { // canceled while queued, popped anyway
@@ -312,8 +337,29 @@ func (s *Server) execute(j *job) {
 		return
 	}
 	j.state = StateRunning
+	resumed := j.resumes > 0
+	// Pending points: those without a durable result from earlier slices.
+	var idx []int
+	for i := range j.points {
+		if !j.havePoint[i] {
+			idx = append(idx, i)
+		}
+	}
+	pts := make([]sweep.Job, len(idx))
+	snaps := make([][]byte, len(idx))
+	for k, i := range idx {
+		pts[k] = j.points[i]
+		snaps[k] = j.snapshots[i]
+	}
 	j.mu.Unlock()
-	s.log("start %s (%d points)", j.id, len(j.points))
+
+	if resumed {
+		j.feed.append(StreamEvent{Type: EventResumed, ID: j.id, Total: len(j.points), Remaining: len(idx)})
+		s.metrics.jobsResumed.Add(1)
+		s.log("resume %s (%d of %d points remaining)", j.id, len(idx), len(j.points))
+	} else {
+		s.log("start %s (%d points)", j.id, len(j.points))
+	}
 
 	ctx := j.ctx
 	cancel := func() {}
@@ -323,16 +369,74 @@ func (s *Server) execute(j *job) {
 	engine := &sweep.Engine{
 		Workers:  s.cfg.Workers,
 		Cache:    s.cfg.Cache,
-		Progress: progressFan{s: s, j: j},
+		Progress: remapFan{fan: progressFan{s: s, j: j}, idx: idx, total: len(j.points)},
 		RunJob:   s.cfg.runPoint,
 	}
+	var sliceExpired atomic.Bool
+	if s.cfg.JobSlice > 0 {
+		engine.Pause = sliceExpired.Load
+		engine.Snapshots = snaps
+		timer := time.AfterFunc(s.cfg.JobSlice, func() { sliceExpired.Store(true) })
+		defer timer.Stop()
+	}
 	start := time.Now()
-	results := engine.Run(ctx, j.points)
+	results := engine.Run(ctx, pts)
 	wall := time.Since(start)
 	timedOut := ctx.Err() != nil && j.ctx.Err() == nil
 	cancel()
 
-	st := sweep.Summarize(results, wall)
+	// Merge this slice's outcomes into the job's durable row set.
+	paused := 0
+	j.mu.Lock()
+	for k, r := range results {
+		i := idx[k]
+		if r.Paused {
+			paused++
+			if r.Snapshot != nil {
+				j.snapshots[i] = r.Snapshot
+			}
+			continue
+		}
+		j.finished[i] = r
+		j.havePoint[i] = true
+		j.snapshots[i] = nil
+	}
+	j.elapsed += wall
+	elapsed := j.elapsed
+	j.mu.Unlock()
+
+	if paused > 0 && !timedOut && j.ctx.Err() == nil {
+		// Slice expired mid-job: requeue behind waiting work and yield
+		// the runner. The job stays in-flight for dedup purposes.
+		j.mu.Lock()
+		j.state = StateQueued
+		j.resumes++
+		j.mu.Unlock()
+		j.feed.append(StreamEvent{Type: EventPreempted, ID: j.id, Total: len(j.points), Remaining: paused})
+		s.metrics.jobsPreempted.Add(1)
+		s.mu.Lock()
+		s.queued = append(s.queued, j)
+		s.cond.Signal()
+		s.mu.Unlock()
+		s.log("preempt %s after %v: %d points remaining", j.id, wall.Round(time.Millisecond), paused)
+		return
+	}
+
+	// Terminal: assemble the full row set in original point order. Points
+	// still paused (timeout/cancel hit before they finished) report
+	// canceled like never-started points do.
+	j.mu.Lock()
+	full := make([]sweep.Result, len(j.points))
+	for i := range j.points {
+		if j.havePoint[i] {
+			full[i] = j.finished[i]
+		} else {
+			full[i] = sweep.Result{Job: j.points[i], Err: context.Canceled.Error()}
+		}
+	}
+	j.mu.Unlock()
+
+	st := sweep.Summarize(full, elapsed)
 	state := StateDone
 	reason := ""
 	switch {
@@ -347,7 +451,7 @@ func (s *Server) execute(j *job) {
 		delete(s.inflight, j.specHash)
 	}
 	s.mu.Unlock()
-	s.finalize(j, results, st, state, reason)
+	s.finalize(j, full, st, state, reason)
 	s.log("finish %s: %s, %s", j.id, state, st)
 }
 
@@ -391,6 +495,23 @@ func (s *Server) finalize(j *job, results []sweep.Result, st sweep.Stats, state,
 	s.mu.Unlock()
 }
 
+// remapFan translates a slice-local engine event (indexed into the
+// pending sublist) back into the job's original point numbering before
+// fanning it out, so streamed rows carry stable indices across
+// preemption rounds.
+type remapFan struct {
+	fan   progressFan
+	idx   []int // engine index -> original point index
+	total int
+}
+
+// Event implements sweep.Progress.
+func (r remapFan) Event(ev sweep.Event) {
+	ev.Index = r.idx[ev.Index]
+	ev.Total = r.total
+	r.fan.Event(ev)
+}
+
 // progressFan adapts the engine's Progress callbacks onto the job's
 // feed and the server-wide point counters. It is called from engine
 // worker goroutines.
@@ -429,6 +550,10 @@ func (j *job) noteEvent(ev sweep.Event) {
 	case sweep.CacheWriteError:
 		// Not a point outcome; surface on the ring, not the stream.
 		return
+	case sweep.JobPaused:
+		// Point checkpointed for preemption: the job-level "preempted"
+		// event covers it; per-point pause lines would only be noise.
+		return
 	default:
 		return
 	}
@@ -465,6 +590,8 @@ func (s *Server) notePoint(ev sweep.Event) {
 		s.metrics.pointWallMS.Observe(ev.Wall.Milliseconds())
 	case sweep.CacheWriteError:
 		s.log("cache write failed for %s: %s", ev.Job.Desc(), ev.Err)
+	case sweep.JobPaused:
+		s.metrics.pointsSnapshotted.Add(1)
 	}
 }
 

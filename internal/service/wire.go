@@ -13,13 +13,16 @@ const (
 )
 
 // Stream event types, in the order a stream emits them: one "accepted",
-// then interleaved "start"/"point" events as workers progress, then a
-// single terminal "summary".
+// then interleaved "start"/"point" events as workers progress — possibly
+// punctuated by "preempted"/"resumed" pairs when the daemon time-slices
+// jobs — then a single terminal "summary".
 const (
-	EventAccepted = "accepted"
-	EventStart    = "start"
-	EventPoint    = "point"
-	EventSummary  = "summary"
+	EventAccepted  = "accepted"
+	EventStart     = "start"
+	EventPoint     = "point"
+	EventSummary   = "summary"
+	EventPreempted = "preempted"
+	EventResumed   = "resumed"
 )
 
 // Point statuses on "point" events.
@@ -50,6 +53,10 @@ type StreamEvent struct {
 	ID    string       `json:"id,omitempty"`
 	State string       `json:"state,omitempty"`
 	Stats *sweep.Stats `json:"stats,omitempty"`
+
+	// Remaining is the number of unfinished points on preempted/resumed
+	// events (the rest are already durable in the job's result set).
+	Remaining int `json:"remaining,omitempty"`
 }
 
 // JobStatus is the poll/submit response body.
@@ -65,6 +72,9 @@ type JobStatus struct {
 	// Deduped marks a submission that attached to an already in-flight
 	// identical job instead of enqueueing a new one.
 	Deduped bool `json:"deduped,omitempty"`
+	// Resumes counts how many times the job was preempted at a slice
+	// boundary and requeued with checkpointed state.
+	Resumes int `json:"resumes,omitempty"`
 }
 
 // ErrorBody is the JSON error payload for non-2xx API responses.

@@ -88,3 +88,33 @@ func (d *Delay[T]) Len() int { return len(d.items) }
 
 // Empty reports whether no items are queued at all.
 func (d *Delay[T]) Empty() bool { return len(d.items) == 0 }
+
+// Latency returns the queue's base latency in cycles.
+func (d *Delay[T]) Latency() int64 { return d.latency }
+
+// Queued is one in-flight item of a Delay with its absolute ready cycle,
+// as captured by Queued()/restored by SetQueued (checkpointing).
+type Queued[T any] struct {
+	Ready int64
+	V     T
+}
+
+// Queued returns every in-flight item with its absolute ready cycle, in
+// queue order.
+func (d *Delay[T]) Queued() []Queued[T] {
+	out := make([]Queued[T], len(d.items))
+	for i, it := range d.items {
+		out[i] = Queued[T]{Ready: it.ready, V: it.v}
+	}
+	return out
+}
+
+// SetQueued replaces the queue contents with the given items (absolute
+// ready cycles, queue order). The latency is unchanged; it is a property
+// of the wire, not of the traffic on it.
+func (d *Delay[T]) SetQueued(items []Queued[T]) {
+	d.items = d.items[:0]
+	for _, it := range items {
+		d.items = append(d.items, timed[T]{ready: it.Ready, v: it.V})
+	}
+}

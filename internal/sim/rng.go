@@ -71,3 +71,10 @@ func (r *RNG) Perm(n int) []int {
 func (r *RNG) Fork(label uint64) *RNG {
 	return NewRNG(r.Uint64() ^ (label * 0xd1342543de82ef95))
 }
+
+// State returns the generator's internal state. Together with SetState it
+// lets a checkpoint capture and later resume the exact stream position.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState overwrites the generator's internal state (checkpoint restore).
+func (r *RNG) SetState(s uint64) { r.state = s }

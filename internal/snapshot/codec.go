@@ -1,0 +1,235 @@
+// Package snapshot implements deterministic simulation checkpoints: a
+// versioned, self-describing binary encoding of the complete mutable
+// state of a network.Network (and optionally a trace.Driver), with
+// Save/Restore entry points, strict validation, and a field-by-field
+// divergence checker for debugging. The format is pure stdlib:
+// little-endian fixed-width floats, varint integers, length-prefixed
+// strings and slices, and CRC-trailered named sections.
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"reflect"
+)
+
+// encode serializes v (a struct, or pointer to one) into deterministic
+// bytes: struct fields in declared order, integers as varints, floats as
+// 8-byte little-endian IEEE bits, slices and strings length-prefixed.
+// Maps, interfaces, channels and functions are rejected — snapshot state
+// structs must be plain data so the encoding is canonical.
+func encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := encodeValue(&buf, reflect.ValueOf(v)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func encodeValue(buf *bytes.Buffer, v reflect.Value) error {
+	switch v.Kind() {
+	case reflect.Bool:
+		b := byte(0)
+		if v.Bool() {
+			b = 1
+		}
+		buf.WriteByte(b)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		var tmp [binary.MaxVarintLen64]byte
+		buf.Write(tmp[:binary.PutVarint(tmp[:], v.Int())])
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		var tmp [binary.MaxVarintLen64]byte
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], v.Uint())])
+	case reflect.Float64:
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v.Float()))
+		buf.Write(tmp[:])
+	case reflect.String:
+		var tmp [binary.MaxVarintLen64]byte
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(v.Len()))])
+		buf.WriteString(v.String())
+	case reflect.Slice:
+		var tmp [binary.MaxVarintLen64]byte
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(v.Len()))])
+		for i := 0; i < v.Len(); i++ {
+			if err := encodeValue(buf, v.Index(i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Ptr:
+		if v.IsNil() {
+			buf.WriteByte(0)
+			return nil
+		}
+		buf.WriteByte(1)
+		return encodeValue(buf, v.Elem())
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			if !t.Field(i).IsExported() {
+				return fmt.Errorf("snapshot: cannot encode unexported field %s.%s", t.Name(), t.Field(i).Name)
+			}
+			if err := encodeValue(buf, v.Field(i)); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("snapshot: cannot encode kind %s (%s)", v.Kind(), v.Type())
+	}
+	return nil
+}
+
+// decoder tracks position in a payload so slice lengths can be sanity-
+// checked against the bytes actually remaining (a corrupted length never
+// allocates unbounded memory).
+type decoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *decoder) remaining() int { return len(d.data) - d.pos }
+
+func (d *decoder) byte() (byte, error) {
+	if d.pos >= len(d.data) {
+		return 0, fmt.Errorf("snapshot: truncated payload at offset %d", d.pos)
+	}
+	b := d.data[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	u, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("snapshot: malformed varint at offset %d", d.pos)
+	}
+	d.pos += n
+	return u, nil
+}
+
+func (d *decoder) varint() (int64, error) {
+	i, n := binary.Varint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("snapshot: malformed varint at offset %d", d.pos)
+	}
+	d.pos += n
+	return i, nil
+}
+
+func (d *decoder) take(n int) ([]byte, error) {
+	if n < 0 || d.remaining() < n {
+		return nil, fmt.Errorf("snapshot: truncated payload at offset %d (want %d bytes, have %d)",
+			d.pos, n, d.remaining())
+	}
+	b := d.data[d.pos : d.pos+n]
+	d.pos += n
+	return b, nil
+}
+
+// decode deserializes data into out (a pointer to a struct) and requires
+// the payload to be fully consumed.
+func decode(data []byte, out any) error {
+	v := reflect.ValueOf(out)
+	if v.Kind() != reflect.Ptr || v.IsNil() {
+		return fmt.Errorf("snapshot: decode target must be a non-nil pointer")
+	}
+	d := &decoder{data: data}
+	if err := decodeValue(d, v.Elem()); err != nil {
+		return err
+	}
+	if d.remaining() != 0 {
+		return fmt.Errorf("snapshot: %d trailing bytes after decoded payload", d.remaining())
+	}
+	return nil
+}
+
+func decodeValue(d *decoder, v reflect.Value) error {
+	switch v.Kind() {
+	case reflect.Bool:
+		b, err := d.byte()
+		if err != nil {
+			return err
+		}
+		v.SetBool(b != 0)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		i, err := d.varint()
+		if err != nil {
+			return err
+		}
+		if v.OverflowInt(i) {
+			return fmt.Errorf("snapshot: value %d overflows %s", i, v.Type())
+		}
+		v.SetInt(i)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		u, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if v.OverflowUint(u) {
+			return fmt.Errorf("snapshot: value %d overflows %s", u, v.Type())
+		}
+		v.SetUint(u)
+	case reflect.Float64:
+		b, err := d.take(8)
+		if err != nil {
+			return err
+		}
+		v.SetFloat(math.Float64frombits(binary.LittleEndian.Uint64(b)))
+	case reflect.String:
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		b, err := d.take(int(n))
+		if err != nil {
+			return err
+		}
+		v.SetString(string(b))
+	case reflect.Slice:
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		// Every element occupies at least one byte, so a length beyond the
+		// remaining payload is corruption, not a big slice.
+		if n > uint64(d.remaining()) {
+			return fmt.Errorf("snapshot: slice length %d exceeds remaining payload (%d bytes)", n, d.remaining())
+		}
+		s := reflect.MakeSlice(v.Type(), int(n), int(n))
+		for i := 0; i < int(n); i++ {
+			if err := decodeValue(d, s.Index(i)); err != nil {
+				return err
+			}
+		}
+		v.Set(s)
+	case reflect.Ptr:
+		present, err := d.byte()
+		if err != nil {
+			return err
+		}
+		if present == 0 {
+			v.SetZero()
+			return nil
+		}
+		p := reflect.New(v.Type().Elem())
+		if err := decodeValue(d, p.Elem()); err != nil {
+			return err
+		}
+		v.Set(p)
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < t.NumField(); i++ {
+			if !t.Field(i).IsExported() {
+				return fmt.Errorf("snapshot: cannot decode unexported field %s.%s", t.Name(), t.Field(i).Name)
+			}
+			if err := decodeValue(d, v.Field(i)); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("snapshot: cannot decode kind %s (%s)", v.Kind(), v.Type())
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+package snapshot
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+
+	"flov/internal/network"
+	"flov/internal/trace"
+)
+
+// Diff captures two live simulations and compares them field by field,
+// returning the path and values of the first mismatch, or "" when the
+// states are identical. It is the debugging companion to Restore: when a
+// restored run diverges from an uninterrupted one, Diff pinpoints the
+// first state element that differs instead of leaving only diverging
+// end-of-run statistics.
+func Diff(na, nb *network.Network, da, db *trace.Driver) (string, error) {
+	sa, err := Capture(na, da)
+	if err != nil {
+		return "", fmt.Errorf("snapshot: capturing first network: %w", err)
+	}
+	sb, err := Capture(nb, db)
+	if err != nil {
+		return "", fmt.Errorf("snapshot: capturing second network: %w", err)
+	}
+	return DiffStates(sa, sb), nil
+}
+
+// DiffStates compares two captured states, returning the first mismatch
+// path (e.g. "Net.Routers[3].In[2][1].Flits[0].VC: 1 != 2") or "".
+func DiffStates(a, b *State) string {
+	return firstDiff("", reflect.ValueOf(*a), reflect.ValueOf(*b))
+}
+
+// firstDiff walks two values of identical type in lockstep and reports
+// the first leaf that differs. Floats compare by bit pattern: a
+// checkpoint round-trip must be exact, not approximately equal.
+func firstDiff(path string, a, b reflect.Value) string {
+	switch a.Kind() {
+	case reflect.Bool:
+		if a.Bool() != b.Bool() {
+			return fmt.Sprintf("%s: %v != %v", path, a.Bool(), b.Bool())
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		if a.Int() != b.Int() {
+			return fmt.Sprintf("%s: %d != %d", path, a.Int(), b.Int())
+		}
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		if a.Uint() != b.Uint() {
+			return fmt.Sprintf("%s: %d != %d", path, a.Uint(), b.Uint())
+		}
+	case reflect.Float64:
+		if math.Float64bits(a.Float()) != math.Float64bits(b.Float()) {
+			return fmt.Sprintf("%s: %v != %v", path, a.Float(), b.Float())
+		}
+	case reflect.String:
+		if a.String() != b.String() {
+			return fmt.Sprintf("%s: %q != %q", path, a.String(), b.String())
+		}
+	case reflect.Slice:
+		if a.Len() != b.Len() {
+			return fmt.Sprintf("%s: length %d != %d", path, a.Len(), b.Len())
+		}
+		for i := 0; i < a.Len(); i++ {
+			if d := firstDiff(fmt.Sprintf("%s[%d]", path, i), a.Index(i), b.Index(i)); d != "" {
+				return d
+			}
+		}
+	case reflect.Ptr:
+		if a.IsNil() != b.IsNil() {
+			return fmt.Sprintf("%s: presence %v != %v", path, !a.IsNil(), !b.IsNil())
+		}
+		if !a.IsNil() {
+			return firstDiff(path, a.Elem(), b.Elem())
+		}
+	case reflect.Struct:
+		t := a.Type()
+		for i := 0; i < t.NumField(); i++ {
+			name := t.Field(i).Name
+			p := name
+			if path != "" {
+				p = path + "." + name
+			}
+			if d := firstDiff(p, a.Field(i), b.Field(i)); d != "" {
+				return d
+			}
+		}
+	default:
+		return fmt.Sprintf("%s: uncomparable kind %s", path, a.Kind())
+	}
+	return ""
+}

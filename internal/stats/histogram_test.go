@@ -39,6 +39,89 @@ func TestHistogramObserve(t *testing.T) {
 	}
 }
 
+// TestHistogramSingleObservation: with one sample every quantile is
+// that sample — the bucket upper bound must clamp to Max, not report
+// the power-of-two ceiling above it.
+func TestHistogramSingleObservation(t *testing.T) {
+	var h Histogram
+	h.Observe(37)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Sum != 37 || s.Max != 37 {
+		t.Fatalf("snapshot: %+v", s)
+	}
+	if s.Mean() != 37 {
+		t.Fatalf("Mean = %v, want 37", s.Mean())
+	}
+	for _, p := range []float64{0, 1, 50, 99, 100} {
+		if got := s.Percentile(p); got != 37 {
+			t.Fatalf("Percentile(%v) = %d, want 37 (single observation)", p, got)
+		}
+	}
+}
+
+// TestHistogramDuplicateHeavy: a distribution dominated by one repeated
+// value must not let a few outliers drag low quantiles upward, and the
+// outlier must still own the tail.
+func TestHistogramDuplicateHeavy(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 998; i++ {
+		h.Observe(8)
+	}
+	h.Observe(1 << 20)
+	h.Observe(1 << 20)
+	s := h.Snapshot()
+	if s.Count != 1000 || s.Max != 1<<20 {
+		t.Fatalf("snapshot: count=%d max=%d", s.Count, s.Max)
+	}
+	// 8 lands in bucket [8,16): every quantile through p99 upper-bounds
+	// at 16.
+	for _, p := range []float64{1, 50, 90, 99} {
+		if got := s.Percentile(p); got != 16 {
+			t.Fatalf("Percentile(%v) = %d, want 16", p, got)
+		}
+	}
+	if got := s.Percentile(100); got != 1<<20 {
+		t.Fatalf("Percentile(100) = %d, want %d", got, 1<<20)
+	}
+}
+
+// TestHistogramAllZeros: zero-valued observations (instant cache hits)
+// are a legal distribution, not an empty one.
+func TestHistogramAllZeros(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(0)
+	}
+	s := h.Snapshot()
+	if s.Count != 10 || s.Sum != 0 || s.Max != 0 {
+		t.Fatalf("snapshot: %+v", s)
+	}
+	if got := s.Percentile(99); got != 0 {
+		t.Fatalf("Percentile(99) = %d, want 0", got)
+	}
+	if s.Mean() != 0 {
+		t.Fatalf("Mean = %v, want 0", s.Mean())
+	}
+}
+
+// TestHistogramPercentileMonotone: quantiles must be non-decreasing in
+// p for an arbitrary mixed distribution.
+func TestHistogramPercentileMonotone(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144, 233} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	prev := int64(-1)
+	for p := 0.0; p <= 100; p += 0.5 {
+		got := s.Percentile(p)
+		if got < prev {
+			t.Fatalf("Percentile(%v) = %d < Percentile(%v) = %d", p, got, p-0.5, prev)
+		}
+		prev = got
+	}
+}
+
 // TestHistogramConcurrent hammers Observe from many goroutines; run
 // under -race this pins the locking.
 func TestHistogramConcurrent(t *testing.T) {

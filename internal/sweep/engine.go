@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 )
@@ -24,6 +25,26 @@ type Engine struct {
 	// for panic injection and timing control; the serving layer's tests
 	// use it to block points on demand). Nil means Job.Run.
 	RunJob func(Job) Result
+
+	// WarmStart, when set (and Cache is non-nil), runs synthetic points
+	// with a warmup phase via Job.RunWarm: points sharing a (topology,
+	// workload, warmup) prefix restore one cached post-warmup snapshot
+	// instead of each re-simulating the warmup. Results are byte-for-byte
+	// identical to cold runs.
+	WarmStart bool
+
+	// Pause, when non-nil, makes execution preemptible: workers poll it
+	// between simulation quanta and, when it reports true, checkpoint the
+	// running job and return a Paused result instead of finishing. Jobs
+	// not yet started when Pause turns true return Paused with a nil
+	// Snapshot (nothing simulated yet). Must be safe for concurrent use.
+	Pause func() bool
+
+	// Snapshots, when non-nil, must be index-aligned with the job list
+	// passed to Run: a non-nil element resumes that job from the
+	// checkpoint instead of starting cold (the snapshot of an earlier
+	// Paused result for the same job).
+	Snapshots [][]byte
 }
 
 // Run executes jobs and returns one Result per job, in job order,
@@ -78,6 +99,17 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) []Result {
 // one runs a single job: cache lookup, guarded execution, cache fill,
 // progress events.
 func (e *Engine) one(index, total int, j Job) Result {
+	var snap []byte
+	if e.Snapshots != nil {
+		snap = e.Snapshots[index]
+	}
+	if e.Pause != nil && snap == nil && e.Pause() {
+		// Preemption requested before this job simulated anything: yield
+		// it whole (nil snapshot means "start cold next time") without
+		// burning a quantum on it first.
+		return Result{Job: j, Paused: true}
+	}
+
 	e.emit(Event{Type: JobStart, Index: index, Total: total, Job: j})
 
 	if e.Cache != nil {
@@ -89,7 +121,12 @@ func (e *Engine) one(index, total int, j Job) Result {
 		}
 	}
 
-	r := e.guardedRun(j)
+	r := e.guardedRun(j, snap)
+
+	if r.Paused {
+		e.emit(Event{Type: JobPaused, Index: index, Total: total, Job: j, Wall: r.Wall})
+		return r
+	}
 
 	if r.Err == "" && e.Cache != nil {
 		// Cache fills are best-effort: a full disk must not fail the sweep.
@@ -109,22 +146,28 @@ func (e *Engine) one(index, total int, j Job) Result {
 }
 
 // guardedRun executes the job with panic isolation: a crashing point
-// reports an error instead of killing the sweep.
-func (e *Engine) guardedRun(j Job) (r Result) {
+// reports an error instead of killing the sweep. The full stack is
+// preserved unbounded (debug.Stack) so deep simulator frames survive
+// into the error row.
+func (e *Engine) guardedRun(j Job, snap []byte) (r Result) {
 	start := time.Now()
 	defer func() {
 		if p := recover(); p != nil {
-			buf := make([]byte, 4096)
-			buf = buf[:runtime.Stack(buf, false)]
 			r = Result{
 				Job:  j,
-				Err:  fmt.Sprintf("panic: %v\n%s", p, buf),
+				Err:  fmt.Sprintf("panic: %v\n%s", p, debug.Stack()),
 				Wall: time.Since(start),
 			}
 		}
 	}()
 	if e.RunJob != nil {
 		return e.RunJob(j)
+	}
+	if e.Pause != nil || snap != nil {
+		return j.RunResumable(snap, e.Pause)
+	}
+	if e.WarmStart && e.Cache != nil {
+		return j.RunWarm(e.Cache)
 	}
 	return j.Run()
 }

@@ -24,11 +24,9 @@ import (
 
 	"flov/internal/config"
 	"flov/internal/core"
-	"flov/internal/gating"
 	"flov/internal/network"
 	"flov/internal/rp"
-	"flov/internal/sim"
-	"flov/internal/topology"
+	"flov/internal/snapshot"
 	"flov/internal/trace"
 	"flov/internal/traffic"
 )
@@ -177,6 +175,13 @@ func (j *Job) UnmarshalJSON(data []byte) error {
 // capture, to invalidate stale cached results wholesale.
 const SchemaVersion = "flov-sweep-v1"
 
+// snapSchemaVersion folds the checkpoint state schema into job hashes:
+// warm-start blobs and cached rows derived from them are only sound for
+// the snapshot layout this build writes, so a schema bump must miss
+// every old cache entry. A variable (not the constant) so tests can
+// simulate a bump.
+var snapSchemaVersion = snapshot.SchemaVersion
+
 // moduleVersion pins cache keys to the built module version so an
 // upgraded binary never serves results simulated by an older one.
 // Development builds report "(devel)"; the SchemaVersion constant is the
@@ -202,7 +207,7 @@ func (j Job) Hash() string {
 	}
 	h := sha256.New()
 	// hash.Hash.Write is documented to never return an error.
-	_, _ = fmt.Fprintf(h, "%s|%s|", SchemaVersion, moduleVersion)
+	_, _ = fmt.Fprintf(h, "%s|%s|%s|", SchemaVersion, snapSchemaVersion, moduleVersion)
 	_, _ = h.Write(enc)
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -234,6 +239,13 @@ type Result struct {
 	// Wall is the wall-clock time this invocation spent on the job
 	// (near zero for cache hits).
 	Wall time.Duration `json:"-"`
+
+	// Paused reports that a resumable run yielded to a preemption
+	// request before finishing: Res/Out are unset and Snapshot holds the
+	// checkpoint to resume from. Paused results are never cached.
+	Paused bool `json:"-"`
+	// Snapshot is the serialized mid-run checkpoint of a paused job.
+	Snapshot []byte `json:"-"`
 }
 
 // SimCycles returns the number of simulated cycles the point covered,
@@ -292,17 +304,7 @@ func (j Job) Run() Result {
 // runSynthetic mirrors flov.RunSynthetic: static mask drawn from
 // MaskSeed, standard warmup/measure/drain run.
 func (j Job) runSynthetic() (network.Results, error) {
-	mesh, err := topology.NewMesh(j.Config.Width, j.Config.Height)
-	if err != nil {
-		return network.Results{}, err
-	}
-	mask := gating.FractionGated(mesh, j.Frac, j.Protect, sim.NewRNG(j.MaskSeed))
-	gen := traffic.NewGenerator(j.Pattern, mesh, j.Hotspots)
-	mech, err := NewMechanism(j.Mechanism)
-	if err != nil {
-		return network.Results{}, err
-	}
-	n, err := network.New(j.Config, mech, gating.Static(mask), gen, j.Rate)
+	n, err := j.buildSynthetic()
 	if err != nil {
 		return network.Results{}, err
 	}

@@ -23,6 +23,10 @@ const (
 	// CacheWriteError fires when a finished result could not be cached;
 	// the sweep continues.
 	CacheWriteError
+	// JobPaused fires when a resumable job checkpointed and yielded to a
+	// preemption request instead of finishing; the caller holds its
+	// snapshot and will re-run it later.
+	JobPaused
 )
 
 // String names the event type.
@@ -38,6 +42,8 @@ func (t EventType) String() string {
 		return "error"
 	case CacheWriteError:
 		return "cache-write-error"
+	case JobPaused:
+		return "paused"
 	default:
 		return fmt.Sprintf("EventType(%d)", int(t))
 	}
@@ -97,6 +103,11 @@ func (r *Reporter) Event(e Event) {
 		// Progress lines are best effort; a broken ticker pipe must not
 		// kill the sweep that is feeding it.
 		_, _ = fmt.Fprintf(r.w, "sweep: cache write failed for %s: %s\n", e.Job.Desc(), e.Err)
+		return
+	case JobPaused:
+		// A paused job is not done — it re-runs from its checkpoint — so
+		// it must not advance the done counter.
+		_, _ = fmt.Fprintf(r.w, "sweep: %s paused at cycle boundary (will resume)\n", e.Job.Desc())
 		return
 	case JobCacheHit:
 		r.hits++

@@ -75,6 +75,9 @@ type Driver struct {
 	txns    int64
 
 	activeList []int
+
+	started  bool
+	finished bool
 }
 
 // NewDriver prepares a closed-loop run. The network must have been built
@@ -234,21 +237,49 @@ func (d *Driver) onDeliver(p *noc.Packet, now int64) {
 	}
 }
 
-// Run executes all phases and returns the outcome. maxCycles bounds the
-// run; an incomplete outcome signals livelock (a test failure upstream).
-func (d *Driver) Run(maxCycles int64) Outcome {
+// ensureStarted arms the first phase exactly once, so a run advanced in
+// checkpointed increments starts the same way an uninterrupted one does.
+func (d *Driver) ensureStarted() {
+	if d.started {
+		return
+	}
+	d.started = true
 	d.net.Ledger.SetEnabled(true)
 	d.startPhase(0)
-	for d.net.Now() < maxCycles {
+}
+
+// RunUntil advances the closed-loop run until every phase completes or
+// the cycle counter reaches until, whichever comes first. It reports
+// whether all phases have finished. Calling it repeatedly with growing
+// bounds executes the exact cycle sequence of a single Run call, which
+// is what lets checkpoints interleave with execution.
+func (d *Driver) RunUntil(until int64) bool {
+	d.ensureStarted()
+	for !d.finished && d.net.Now() < until {
 		d.net.Step()
 		if d.phaseDone() {
 			if d.phase+1 >= d.prof.Phases {
-				break
+				d.finished = true
+			} else {
+				d.startPhase(d.phase + 1)
 			}
-			d.startPhase(d.phase + 1)
 		}
 	}
-	done := d.phaseDone() && d.phase+1 >= d.prof.Phases
+	return d.finished
+}
+
+// Finished reports whether every phase has completed.
+func (d *Driver) Finished() bool { return d.finished }
+
+// Run executes all phases and returns the outcome. maxCycles bounds the
+// run; an incomplete outcome signals livelock (a test failure upstream).
+func (d *Driver) Run(maxCycles int64) Outcome {
+	d.RunUntil(maxCycles)
+	return d.Outcome()
+}
+
+// Outcome builds the run summary at the current cycle.
+func (d *Driver) Outcome() Outcome {
 	return Outcome{
 		Benchmark:     d.prof.Name,
 		Mechanism:     d.net.Mech.Name(),
@@ -258,6 +289,6 @@ func (d *Driver) Run(maxCycles int64) Outcome {
 		DynamicPJ:     d.net.Ledger.DynamicEnergyPJ(),
 		TotalPJ:       d.net.Ledger.TotalEnergyPJ(),
 		AvgPktLatency: d.net.Stats.AvgLatency(),
-		Completed:     done,
+		Completed:     d.finished,
 	}
 }

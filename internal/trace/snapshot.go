@@ -1,0 +1,93 @@
+package trace
+
+import "fmt"
+
+// CoreStateSnap is the serializable closed-loop state of one core.
+type CoreStateSnap struct {
+	Slots     []int64
+	Remaining int
+	InFlight  int
+}
+
+// ReplySnap is one pending MC/peer reply.
+type ReplySnap struct {
+	At       int64
+	Src, Dst int
+	Req      uint64
+	MC       bool
+}
+
+// DriverState is the serializable mutable state of a Driver. The phase
+// gating masks, MC list and hooks are derived deterministically from the
+// profile and seed during NewDriver, so only the execution cursor is
+// captured.
+type DriverState struct {
+	RNG        uint64
+	Cores      []CoreStateSnap
+	Replies    []ReplySnap
+	Phase      int
+	Txns       int64
+	ActiveList []int
+	Started    bool
+	Finished   bool
+}
+
+// CaptureState copies the driver's mutable state.
+func (d *Driver) CaptureState() DriverState {
+	s := DriverState{
+		RNG:        d.rng.State(),
+		Phase:      d.phase,
+		Txns:       d.txns,
+		ActiveList: append([]int(nil), d.activeList...),
+		Started:    d.started,
+		Finished:   d.finished,
+	}
+	for i := range d.cores {
+		c := &d.cores[i]
+		s.Cores = append(s.Cores, CoreStateSnap{
+			Slots:     append([]int64(nil), c.slots...),
+			Remaining: c.remaining,
+			InFlight:  c.inFlight,
+		})
+	}
+	for _, r := range d.replies {
+		s.Replies = append(s.Replies, ReplySnap{At: r.at, Src: r.src, Dst: r.dst, Req: r.req, MC: r.mc})
+	}
+	return s
+}
+
+// RestoreState overwrites the driver's mutable state. The receiver must
+// have been built with NewDriver over the same profile and seed, so the
+// derived masks and MC set already match; restoring the gating mask on
+// the network is the caller's job (it is part of the network section).
+func (d *Driver) RestoreState(s DriverState) error {
+	if len(s.Cores) != len(d.cores) {
+		return fmt.Errorf("trace: snapshot has %d cores, driver has %d", len(s.Cores), len(d.cores))
+	}
+	if s.Phase < 0 || s.Phase >= d.prof.Phases {
+		return fmt.Errorf("trace: snapshot phase %d out of range (profile has %d)", s.Phase, d.prof.Phases)
+	}
+	n := len(d.cores)
+	for _, id := range s.ActiveList {
+		if id < 0 || id >= n {
+			return fmt.Errorf("trace: snapshot active core %d out of range", id)
+		}
+	}
+	d.rng.SetState(s.RNG)
+	for i := range d.cores {
+		c := &d.cores[i]
+		c.slots = append(c.slots[:0], s.Cores[i].Slots...)
+		c.remaining = s.Cores[i].Remaining
+		c.inFlight = s.Cores[i].InFlight
+	}
+	d.replies = d.replies[:0]
+	for _, r := range s.Replies {
+		d.replies = append(d.replies, pendingReply{at: r.At, src: r.Src, dst: r.Dst, req: r.Req, mc: r.MC})
+	}
+	d.phase = s.Phase
+	d.txns = s.Txns
+	d.activeList = append(d.activeList[:0], s.ActiveList...)
+	d.started = s.Started
+	d.finished = s.Finished
+	return nil
+}

@@ -178,3 +178,9 @@ func NewInjector(rate float64, packetSize int, rng *sim.RNG) *Injector {
 func (inj *Injector) ShouldInject() bool {
 	return inj.rng.Bernoulli(inj.RateFlits / float64(inj.PacketSize))
 }
+
+// RNGState returns the injector's stream position (checkpointing).
+func (inj *Injector) RNGState() uint64 { return inj.rng.State() }
+
+// SetRNGState restores the injector's stream position.
+func (inj *Injector) SetRNGState(s uint64) { inj.rng.SetState(s) }
