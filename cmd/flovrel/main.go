@@ -1,0 +1,194 @@
+// Command flovrel is the statistical reliability verification harness:
+// it sweeps gating mechanisms against fault-injection scenarios, running
+// N seeded trials per cell through the sweep engine, and prints a
+// verdict table with confidence intervals on delivery probability.
+//
+// The matrix is mechanisms x fault scenarios; scenarios are the cross
+// product of -link-rate and -router-rate lists plus any -faults files:
+//
+//	flovrel -mech baseline,gflov -link-rate 0,1e-4 -trials 16
+//	flovrel -mech all -link-rate 1e-4 -router-rate 1e-5 -trials 32 -exact
+//	flovrel -mech gflov -faults kill-column.json -trials 8 -replay-dir out/
+//
+// Exit status is nonzero when any cell is VIOLATED; with -replay-dir the
+// failing trials are replayed and their seed + snapshot + fault spec are
+// written there for reproduction under flovsim (see EXPERIMENTS.md).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"flov"
+	"flov/internal/config"
+	"flov/internal/fault"
+	"flov/internal/relcheck"
+	"flov/internal/sweep"
+)
+
+func main() {
+	mechs := flag.String("mech", "baseline,gflov", "comma-separated mechanisms, or 'all'")
+	linkRates := flag.String("link-rate", "0,1e-4", "comma-separated per-link per-cycle transient fault rates")
+	routerRates := flag.String("router-rate", "0", "comma-separated per-router per-cycle transient fault rates")
+	transient := flag.Int64("transient-cycles", 0, "transient fault heal delay (0 = default)")
+	faultFiles := flag.String("faults", "", "comma-separated fault-spec JSON files appended as extra scenarios")
+	pattern := flag.String("pattern", "uniform", "synthetic traffic pattern")
+	rate := flag.Float64("rate", 0.02, "injection rate (flits/cycle/node)")
+	gated := flag.Float64("gated", 0.5, "fraction of cores power-gated")
+	width := flag.Int("width", 8, "mesh width")
+	height := flag.Int("height", 8, "mesh height")
+	cycles := flag.Int64("cycles", 20_000, "measured cycles per trial (trials run without warmup)")
+	trials := flag.Int("trials", 16, "seeded trials per (mechanism, scenario) cell")
+	seedBase := flag.Uint64("seed-base", 1, "traffic seed of trial 0 (trial t uses seed-base+t)")
+	confidence := flag.Float64("confidence", 0.95, "confidence level for the delivery-probability interval")
+	exact := flag.Bool("exact", false, "use the exact Clopper-Pearson interval instead of Wilson")
+	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	cacheDir := flag.String("cache-dir", "", "sweep result cache directory ('' = uncached)")
+	replayDir := flag.String("replay-dir", "", "write seed+snapshot replay bundles for VIOLATED cells here")
+	jsonOut := flag.Bool("json", false, "emit the full report as JSON instead of the table")
+	quiet := flag.Bool("quiet", false, "suppress the per-trial progress ticker")
+	flag.Parse()
+
+	spec, err := buildSpec(*mechs, *linkRates, *routerRates, *transient, *faultFiles,
+		*pattern, *rate, *gated, *width, *height, *cycles, *trials, *seedBase, *confidence, *exact)
+	if err != nil {
+		fatal(err)
+	}
+
+	opts := relcheck.Options{Workers: *workers}
+	if *cacheDir != "" {
+		c, err := sweep.NewCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Cache = c
+	}
+	if !*quiet {
+		opts.Progress = sweep.NewReporter(os.Stderr)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	rep, err := relcheck.Run(ctx, spec, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Print(rep.Table())
+	}
+
+	if rep.Violated() && *replayDir != "" {
+		arts, err := relcheck.WriteArtifacts(*replayDir, spec, rep)
+		if err != nil {
+			fatal(err)
+		}
+		for _, a := range arts {
+			fmt.Fprintf(os.Stderr, "flovrel: replay bundle for %s seed %d: %s\n", a.Mechanism, a.Seed, a.Command)
+		}
+	}
+	if rep.Violated() {
+		os.Exit(1)
+	}
+}
+
+// buildSpec assembles the verification matrix from the flag values.
+func buildSpec(mechList, linkList, routerList string, transient int64, faultFiles,
+	pattern string, rate, gated float64, width, height int, cycles int64,
+	trials int, seedBase uint64, confidence float64, exact bool) (relcheck.Spec, error) {
+	var s relcheck.Spec
+
+	cfg := flov.Default()
+	cfg.Width, cfg.Height = width, height
+	cfg.TotalCycles, cfg.WarmupCycles = cycles, 0
+	s.Config = cfg
+
+	pat, err := flov.ParsePattern(pattern)
+	if err != nil {
+		return s, err
+	}
+	s.Pattern = pat
+	s.Rate = rate
+	s.Frac = gated
+
+	if mechList == "all" {
+		s.Mechanisms = flov.AllMechanisms()
+	} else {
+		for _, name := range strings.Split(mechList, ",") {
+			m, err := config.ParseMechanism(strings.TrimSpace(name))
+			if err != nil {
+				return s, err
+			}
+			s.Mechanisms = append(s.Mechanisms, m)
+		}
+	}
+
+	lr, err := parseFloats(linkList)
+	if err != nil {
+		return s, fmt.Errorf("-link-rate: %w", err)
+	}
+	rr, err := parseFloats(routerList)
+	if err != nil {
+		return s, fmt.Errorf("-router-rate: %w", err)
+	}
+	for _, l := range lr {
+		for _, r := range rr {
+			s.Faults = append(s.Faults, fault.Spec{
+				LinkRate:        l,
+				RouterRate:      r,
+				TransientCycles: transient,
+			})
+		}
+	}
+	if faultFiles != "" {
+		for _, path := range strings.Split(faultFiles, ",") {
+			data, err := os.ReadFile(strings.TrimSpace(path))
+			if err != nil {
+				return s, err
+			}
+			fs, err := fault.ParseSpec(data)
+			if err != nil {
+				return s, fmt.Errorf("%s: %w", path, err)
+			}
+			s.Faults = append(s.Faults, fs)
+		}
+	}
+
+	s.Trials = trials
+	s.SeedBase = seedBase
+	s.Confidence = confidence
+	s.Exact = exact
+	return s, nil
+}
+
+// parseFloats parses a comma-separated float list.
+func parseFloats(list string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(list, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flovrel:", err)
+	os.Exit(1)
+}

@@ -39,6 +39,7 @@ func main() {
 	ckptFile := flag.String("checkpoint", "", "write a checkpoint to FILE every -checkpoint-every cycles (atomic overwrite)")
 	ckptEvery := flag.Int64("checkpoint-every", 0, "checkpoint cadence in cycles (requires -checkpoint)")
 	restoreFile := flag.String("restore", "", "restore simulation state from a checkpoint FILE before running")
+	faultsFile := flag.String("faults", "", "attach the fault-injection subsystem from a fault-spec JSON FILE (synthetic runs only)")
 	flag.Parse()
 
 	if *ckptEvery > 0 && *ckptFile == "" {
@@ -63,7 +64,23 @@ func main() {
 		fatal(err)
 	}
 
+	var faults *flov.FaultSpec
+	if *faultsFile != "" {
+		data, err := os.ReadFile(*faultsFile)
+		if err != nil {
+			fatal(err)
+		}
+		spec, err := flov.ParseFaultSpec(data)
+		if err != nil {
+			fatal(err)
+		}
+		faults = &spec
+	}
+
 	if *bench != "" {
+		if faults != nil {
+			fatal(fmt.Errorf("-faults is only supported for synthetic runs"))
+		}
 		start := time.Now()
 		out, err := runBench(*bench, mech, *seed, *restoreFile, *ckptFile, *ckptEvery)
 		if err != nil {
@@ -92,6 +109,7 @@ func main() {
 		InjRate:       *rate,
 		GatedFraction: *gated,
 		GatedSeed:     *seed,
+		Faults:        faults,
 	}
 	n, err := flov.Build(opts)
 	if err != nil {

@@ -47,6 +47,7 @@ func main() {
 	warmup := flag.Int64("warmup", 0, "warmup cycles (0 = default)")
 	seed := flag.Uint64("seed", 1, "simulation + gated-set seed")
 	maxCycles := flag.Int64("max-cycles", 0, "PARSEC run bound (0 = default)")
+	faultsPath := flag.String("faults", "", "fault-spec JSON file attached to every synthetic point (overrides the spec file's faults)")
 	specPath := flag.String("spec", "", "JSON sweep spec file (overrides the grid flags)")
 	workers := flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 	cacheDir := flag.String("cache-dir", "", "result cache directory (default $FLOV_SWEEP_CACHE or the user cache dir)")
@@ -71,7 +72,7 @@ func main() {
 		if *clearCache {
 			fatal(fmt.Errorf("-clear-cache is local-only; the -server cache belongs to flovd"))
 		}
-		spec, err := buildSpec(*specPath, *patterns, *rates, *fracs, *mechs, *benches,
+		spec, err := buildSpec(*specPath, *faultsPath, *patterns, *rates, *fracs, *mechs, *benches,
 			*width, *height, *cycles, *warmup, *seed, *maxCycles)
 		if err != nil {
 			fatal(err)
@@ -99,7 +100,7 @@ func main() {
 		return
 	}
 
-	spec, err := buildSpec(*specPath, *patterns, *rates, *fracs, *mechs, *benches,
+	spec, err := buildSpec(*specPath, *faultsPath, *patterns, *rates, *fracs, *mechs, *benches,
 		*width, *height, *cycles, *warmup, *seed, *maxCycles)
 	if err != nil {
 		fatal(err)
@@ -361,33 +362,52 @@ func openCache(dir string, disabled bool) (*sweep.Cache, error) {
 	return sweep.NewCache(dir)
 }
 
-// buildSpec loads the spec file or folds the grid flags into one.
-func buildSpec(path, patterns, rates, fracs, mechs, benches string,
+// buildSpec loads the spec file or folds the grid flags into one; a
+// -faults file attaches (or replaces) the fault scenario either way.
+func buildSpec(path, faultsPath, patterns, rates, fracs, mechs, benches string,
 	width, height int, cycles, warmup int64, seed uint64, maxCycles int64) (flov.SweepSpec, error) {
+	var spec flov.SweepSpec
 	if path != "" {
-		return sweep.LoadSpec(path)
+		loaded, err := sweep.LoadSpec(path)
+		if err != nil {
+			return flov.SweepSpec{}, err
+		}
+		spec = loaded
+	} else {
+		rateList, err := parseFloats(rates)
+		if err != nil {
+			return flov.SweepSpec{}, fmt.Errorf("-rate: %w", err)
+		}
+		fracList, err := parseFloats(fracs)
+		if err != nil {
+			return flov.SweepSpec{}, fmt.Errorf("-gated: %w", err)
+		}
+		spec = flov.SweepSpec{
+			Patterns:   splitList(patterns),
+			Rates:      rateList,
+			GatedFracs: fracList,
+			Mechanisms: splitList(mechs),
+			Benchmarks: splitList(benches),
+			Width:      width,
+			Height:     height,
+			Cycles:     cycles,
+			Warmup:     warmup,
+			Seed:       seed,
+			MaxCycles:  maxCycles,
+		}
 	}
-	rateList, err := parseFloats(rates)
-	if err != nil {
-		return flov.SweepSpec{}, fmt.Errorf("-rate: %w", err)
+	if faultsPath != "" {
+		data, err := os.ReadFile(faultsPath)
+		if err != nil {
+			return flov.SweepSpec{}, fmt.Errorf("-faults: %w", err)
+		}
+		fs, err := flov.ParseFaultSpec(data)
+		if err != nil {
+			return flov.SweepSpec{}, fmt.Errorf("-faults: %w", err)
+		}
+		spec.Faults = &fs
 	}
-	fracList, err := parseFloats(fracs)
-	if err != nil {
-		return flov.SweepSpec{}, fmt.Errorf("-gated: %w", err)
-	}
-	return flov.SweepSpec{
-		Patterns:   splitList(patterns),
-		Rates:      rateList,
-		GatedFracs: fracList,
-		Mechanisms: splitList(mechs),
-		Benchmarks: splitList(benches),
-		Width:      width,
-		Height:     height,
-		Cycles:     cycles,
-		Warmup:     warmup,
-		Seed:       seed,
-		MaxCycles:  maxCycles,
-	}, nil
+	return spec, nil
 }
 
 func splitList(s string) []string {

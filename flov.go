@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"flov/internal/config"
+	"flov/internal/fault"
 	"flov/internal/gating"
 	"flov/internal/network"
 	"flov/internal/nlog"
@@ -69,6 +70,10 @@ type (
 	TraceLog = nlog.Log
 	// TraceEvent is one recorded simulator event.
 	TraceEvent = nlog.Event
+	// FaultSpec configures the deterministic fault-injection subsystem.
+	FaultSpec = fault.Spec
+	// FaultEvent is one scheduled fault in a FaultSpec.
+	FaultEvent = fault.Event
 )
 
 // Mechanisms.
@@ -118,6 +123,10 @@ func RandomGatedMask(m Mesh, count int, protect []int, seed uint64) []bool {
 	return gating.RandomGated(m, count, protect, sim.NewRNG(seed))
 }
 
+// ParseFaultSpec decodes a fault-spec JSON document (the flovsim -faults
+// and flovrel file format), rejecting unknown fields.
+func ParseFaultSpec(data []byte) (FaultSpec, error) { return fault.ParseSpec(data) }
+
 // ParseMechanism converts a name ("baseline", "rp", "rflov", "gflov").
 func ParseMechanism(s string) (Mechanism, error) { return config.ParseMechanism(s) }
 
@@ -153,6 +162,10 @@ type SyntheticOptions struct {
 	Schedule *Schedule
 	// Hotspots are the destinations of the Hotspot pattern.
 	Hotspots []int
+	// Faults, when non-nil, attaches the deterministic fault-injection
+	// subsystem. A zero-rate, empty-schedule spec leaves the run
+	// byte-identical to a fault-free one.
+	Faults *FaultSpec
 }
 
 // normalizedConfig fills in Default() when the caller left Config zero.
@@ -183,7 +196,16 @@ func Build(o SyntheticOptions) (*Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	return network.New(cfg, mech, sched, gen, o.InjRate)
+	n, err := network.New(cfg, mech, sched, gen, o.InjRate)
+	if err != nil {
+		return nil, err
+	}
+	if o.Faults != nil {
+		if err := n.AttachFaults(*o.Faults); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
 }
 
 // RunSynthetic executes the standard synthetic experiment (warmup,
@@ -329,6 +351,7 @@ func SyntheticJob(o SyntheticOptions) (SweepJob, error) {
 		MaskSeed:  o.GatedSeed ^ 0xabcd, // Build's derivation: same point, same hash
 		Protect:   o.Protect,
 		Hotspots:  o.Hotspots,
+		Faults:    o.Faults,
 	}, nil
 }
 

@@ -161,12 +161,37 @@ func TestNondetServiceAllowlisted(t *testing.T) {
 	}
 }
 
+// TestNondetFaultStreamPermitted pins the fault-injection carve-out from
+// the permitted side: the real fault subsystem and the reliability
+// harness draw all randomness from the dedicated seeded sim.RNG stream,
+// so the nondeterm analyzer must pass them without any allowlist entry —
+// the approved stream is the permission.
+func TestNondetFaultStreamPermitted(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"flov/internal/fault", "flov/internal/relcheck"} {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range RunPackage(pkg, []*Analyzer{NondetAnalyzer}) {
+			t.Errorf("%s: seeded-stream package flagged: %s", path, d)
+		}
+	}
+}
+
 // TestNondetSimulationStaysForbidden pins the other side of the
-// serving-layer carve-out: core simulation packages must still reject
-// wall-clock time and ambient randomness, with exactly the findings the
-// fixture's markers declare.
+// serving-layer carve-out: core simulation packages — the fault
+// subsystem included — must still reject wall-clock time and ambient
+// randomness, with exactly the findings the fixture's markers declare.
 func TestNondetSimulationStaysForbidden(t *testing.T) {
-	for _, path := range []string{"flov/internal/network/fixture", "flov/internal/sim/fixture"} {
+	for _, path := range []string{"flov/internal/network/fixture", "flov/internal/sim/fixture", "flov/internal/fault/fixture"} {
 		loader, dir := newTestLoader(t, path)
 		pkg, err := loader.Load(path)
 		if err != nil {

@@ -69,6 +69,11 @@ func DefaultReachRoots() []RootSpec {
 		// Restore rebuilds live simulation state from a checkpoint; any
 		// nondeterminism reachable from it would corrupt resumed runs.
 		{Pkg: "flov/internal/snapshot", Func: "Restore"},
+		// The reliability harness: trial derivation must be a pure
+		// function of the spec (seeds included), and the replay of a
+		// failing trial must re-simulate it bit-identically.
+		{Pkg: "flov/internal/relcheck", Recv: "Spec", Func: "Jobs"},
+		{Pkg: "flov/internal/relcheck", Func: "replayTrial"},
 	}
 }
 

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"testing"
+
+	"flov/internal/config"
+	"flov/internal/fault"
+	"flov/internal/gating"
+	"flov/internal/network"
+	"flov/internal/sim"
+	"flov/internal/topology"
+	"flov/internal/traffic"
+)
+
+// buildFaultedFLOV assembles a FLOV network with the given gated
+// fraction and fault scenario attached.
+func buildFaultedFLOV(t *testing.T, generalized bool, frac float64, cfg config.Config, fs fault.Spec) *network.Network {
+	t.Helper()
+	mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := gating.FractionGated(mesh, frac, nil, sim.NewRNG(7))
+	gen := traffic.NewGenerator(traffic.Uniform, mesh, nil)
+	var mech *Mechanism
+	if generalized {
+		mech = NewGFLOV()
+	} else {
+		mech = NewRFLOV()
+	}
+	n, err := network.New(cfg, mech, gating.Static(mask), gen, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AttachFaults(fs); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func escapeTestConfig() config.Config {
+	cfg := config.Default()
+	cfg.Width, cfg.Height = 4, 4
+	cfg.TotalCycles = 6000
+	cfg.WarmupCycles = 600
+	return cfg
+}
+
+// checkAccounting asserts the fault-run liveness contract: every
+// measured packet is delivered, classified lost, or a countable
+// straggler — never silently vanished, never an unbounded wait (the run
+// loop itself is bounded by TotalCycles + DrainCycles).
+func checkAccounting(t *testing.T, res network.Results) int64 {
+	t.Helper()
+	stragglers := res.OfferedPkts - res.Packets - res.LostPkts
+	if stragglers < 0 {
+		t.Fatalf("accounting over-counts: offered=%d delivered=%d lost=%d",
+			res.OfferedPkts, res.Packets, res.LostPkts)
+	}
+	if res.Packets == 0 {
+		t.Fatalf("nothing delivered: %+v", res)
+	}
+	return stragglers
+}
+
+// TestGFLOVGatedWithTransientLinkFaults: gated routers (FLOV bypass
+// latches in use) plus transient link faults. Everything must still
+// deliver once the links heal — no drops, no stuck flits.
+func TestGFLOVGatedWithTransientLinkFaults(t *testing.T) {
+	for _, frac := range []float64{0.3, 0.6} {
+		cfg := escapeTestConfig()
+		n := buildFaultedFLOV(t, true, frac, cfg, fault.Spec{
+			Seed: 5, LinkRate: 2e-4, TransientCycles: 40,
+		})
+		res := n.Run()
+		if res.FaultsInjected == 0 {
+			t.Fatalf("frac=%.1f: no faults injected", frac)
+		}
+		if res.LostPkts != 0 {
+			t.Fatalf("frac=%.1f: %d packets dropped with transient-only faults", frac, res.LostPkts)
+		}
+		if res.Undelivered != 0 {
+			t.Fatalf("frac=%.1f: %d flits stuck after drain", frac, res.Undelivered)
+		}
+		if s := checkAccounting(t, res); s != 0 {
+			t.Fatalf("frac=%.1f: %d stragglers with transient-only faults", frac, s)
+		}
+	}
+}
+
+// TestGFLOVAONColumnLinkFault: a permanent dead link inside the east-most
+// always-on column — the spine every FLOV escape route leans on. Packets
+// that can still route around it must deliver; any packet wedged on the
+// broken escape path must be classified, not parked forever.
+func TestGFLOVAONColumnLinkFault(t *testing.T) {
+	cfg := escapeTestConfig()
+	mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The vertical link between the AON column's two middle routers.
+	aonMid := mesh.ID(mesh.AONColumn(), 1)
+	n := buildFaultedFLOV(t, true, 0.5, cfg, fault.Spec{
+		Schedule:    []fault.Event{{At: 800, Kind: "link", Node: aonMid, Dir: "S"}},
+		DropTimeout: 400,
+	})
+	res := n.Run()
+	if res.LinkFaults != 1 {
+		t.Fatalf("scheduled AON-column link kill not recorded: %d", res.LinkFaults)
+	}
+	stragglers := checkAccounting(t, res)
+	t.Logf("AON link fault: offered=%d delivered=%d lost=%d stragglers=%d",
+		res.OfferedPkts, res.Packets, res.LostPkts, stragglers)
+}
+
+// TestGFLOVCornerRouterFault: the south-east corner router is in the AON
+// column and terminates the escape ring; killing it permanently is the
+// nastiest single-point failure for the escape subnetwork. The run must
+// complete with full accounting.
+func TestGFLOVCornerRouterFault(t *testing.T) {
+	cfg := escapeTestConfig()
+	mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corner := mesh.ID(mesh.Width-1, mesh.Height-1)
+	n := buildFaultedFLOV(t, true, 0.5, cfg, fault.Spec{
+		Schedule:    []fault.Event{{At: 800, Kind: "router", Node: corner}},
+		DropTimeout: 400,
+	})
+	res := n.Run()
+	if res.RouterFaults != 1 {
+		t.Fatalf("corner router kill not recorded: %d", res.RouterFaults)
+	}
+	if res.LostPkts == 0 {
+		t.Fatal("no classified losses with a dead corner router (its own traffic is unreachable)")
+	}
+	stragglers := checkAccounting(t, res)
+	t.Logf("corner router fault: offered=%d delivered=%d lost=%d stragglers=%d",
+		res.OfferedPkts, res.Packets, res.LostPkts, stragglers)
+}
+
+// TestRFLOVGatedRouterPlusDeadLink: rFLOV with a permanent interior link
+// fault layered on top of gating. The combination must classify or
+// deliver every packet.
+func TestRFLOVGatedRouterPlusDeadLink(t *testing.T) {
+	cfg := escapeTestConfig()
+	n := buildFaultedFLOV(t, false, 0.5, cfg, fault.Spec{
+		Schedule: []fault.Event{
+			{At: 800, Kind: "link", Node: 5, Dir: "E"},
+			{At: 1200, Kind: "link", Node: 9, Dir: "N"},
+		},
+		DropTimeout: 400,
+	})
+	res := n.Run()
+	if res.LinkFaults != 2 {
+		t.Fatalf("scheduled link kills not recorded: %d", res.LinkFaults)
+	}
+	stragglers := checkAccounting(t, res)
+	t.Logf("rFLOV dead links: offered=%d delivered=%d lost=%d stragglers=%d",
+		res.OfferedPkts, res.Packets, res.LostPkts, stragglers)
+}
+
+// TestGFLOVTransientFaultDeterminism: a gated FLOV run with both rate
+// and scheduled faults is byte-stable across rebuilds (JSON of Results).
+func TestGFLOVTransientFaultDeterminism(t *testing.T) {
+	run := func() network.Results {
+		cfg := escapeTestConfig()
+		n := buildFaultedFLOV(t, true, 0.4, cfg, fault.Spec{
+			Seed:     31,
+			LinkRate: 1e-4, TransientCycles: 60,
+			Schedule: []fault.Event{{At: 900, Kind: "router", Node: 6, Transient: 200}},
+		})
+		return n.Run()
+	}
+	a, b := run(), run()
+	if a.Packets != b.Packets || a.LostPkts != b.LostPkts ||
+		a.FaultsInjected != b.FaultsInjected || a.AvgLatency != b.AvgLatency {
+		t.Fatalf("fault runs diverge:\na: %+v\nb: %+v", a, b)
+	}
+}

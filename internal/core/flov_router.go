@@ -210,8 +210,14 @@ func (w *flovRouter) transition(to PowerState) {
 }
 
 // Tick advances the FLOV router one cycle according to its power state.
+// A router frozen by the fault subsystem does nothing at all: pipeline,
+// FSM, latches and handshakes all halt until the fault heals (neighbors
+// recover via their own transition timeouts and the escape heuristics).
 func (w *flovRouter) Tick(now int64) {
 	w.now = now
+	if w.r.Frozen {
+		return
+	}
 	switch w.state {
 	case Active:
 		w.r.Tick(now)

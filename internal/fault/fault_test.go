@@ -1,0 +1,184 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+
+	"flov/internal/topology"
+)
+
+func mesh4(t *testing.T) topology.Mesh {
+	t.Helper()
+	m, err := topology.NewMesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestZeroSpecNeverTouchesRNG(t *testing.T) {
+	m := mesh4(t)
+	inj := NewInjector(Spec{Seed: 7}, m)
+	before := inj.CaptureState().RNG
+	for now := int64(0); now < 10_000; now++ {
+		if inj.Tick(now) {
+			t.Fatalf("zero spec reported a change at cycle %d", now)
+		}
+	}
+	if got := inj.CaptureState().RNG; got != before {
+		t.Fatalf("zero spec advanced the fault RNG: %d -> %d", before, got)
+	}
+	if inj.EverFaulted() || inj.HasPermanent() || inj.FaultsInjected() != 0 {
+		t.Fatal("zero spec injected faults")
+	}
+}
+
+func TestRateFaultsDeterministic(t *testing.T) {
+	m := mesh4(t)
+	spec := Spec{Seed: 42, LinkRate: 1e-3, RouterRate: 5e-4, TransientCycles: 37}
+	a, b := NewInjector(spec, m), NewInjector(spec, m)
+	for now := int64(0); now < 20_000; now++ {
+		ca, cb := a.Tick(now), b.Tick(now)
+		if ca != cb {
+			t.Fatalf("divergent change report at cycle %d", now)
+		}
+	}
+	if !reflect.DeepEqual(a.CaptureState(), b.CaptureState()) {
+		t.Fatal("same spec produced different fault state")
+	}
+	if !a.EverFaulted() || a.FaultsInjected() == 0 {
+		t.Fatal("rates injected nothing in 20k cycles")
+	}
+	if a.HasPermanent() {
+		t.Fatal("rate-driven faults must be transient")
+	}
+}
+
+func TestTransientFaultHeals(t *testing.T) {
+	m := mesh4(t)
+	inj := NewInjector(Spec{Schedule: []Event{
+		{At: 10, Kind: "link", Node: 0, Dir: "E", Transient: 20},
+		{At: 10, Kind: "router", Node: 5, Transient: 20},
+	}}, m)
+	for now := int64(0); now <= 10; now++ {
+		inj.Tick(now)
+	}
+	if inj.LinkUp(0, topology.East) || inj.LinkUp(1, topology.West) {
+		t.Fatal("link fault not applied symmetrically")
+	}
+	if inj.RouterUp(5) {
+		t.Fatal("router fault not applied")
+	}
+	if !inj.Reachable(0, 15) {
+		t.Fatal("transient faults must not partition reachability")
+	}
+	for now := int64(11); now <= 30; now++ {
+		inj.Tick(now)
+	}
+	if !inj.LinkUp(0, topology.East) || !inj.LinkUp(1, topology.West) || !inj.RouterUp(5) {
+		t.Fatal("transient faults did not heal")
+	}
+	if inj.FaultsInjected() != 2 {
+		t.Fatalf("FaultsInjected = %d, want 2", inj.FaultsInjected())
+	}
+}
+
+func TestPermanentFaultPartitions(t *testing.T) {
+	m := mesh4(t)
+	// Cut node 3 (north-east of the bottom row... id 3 = (3,0)) off: its
+	// two links (W from 3, N from 3) fail permanently.
+	inj := NewInjector(Spec{Schedule: []Event{
+		{At: 5, Kind: "link", Node: 3, Dir: "W"},
+		{At: 5, Kind: "link", Node: 3, Dir: "N"},
+	}}, m)
+	for now := int64(0); now <= 5; now++ {
+		inj.Tick(now)
+	}
+	if !inj.HasPermanent() {
+		t.Fatal("permanent faults not registered")
+	}
+	if inj.Reachable(0, 3) || inj.Reachable(3, 15) {
+		t.Fatal("node 3 should be partitioned off")
+	}
+	if !inj.Reachable(0, 15) || !inj.Reachable(3, 3) {
+		t.Fatal("surviving component mislabeled")
+	}
+	if !inj.LinkPermanentlyDown(3, topology.West) || !inj.LinkPermanentlyDown(2, topology.East) {
+		t.Fatal("permanent link state not symmetric")
+	}
+}
+
+func TestPermanentRouterFaultIsolatesNode(t *testing.T) {
+	m := mesh4(t)
+	inj := NewInjector(Spec{Schedule: []Event{{At: 0, Kind: "router", Node: 6}}}, m)
+	inj.Tick(0)
+	if !inj.RouterPermanentlyDown(6) {
+		t.Fatal("router 6 should be permanently down")
+	}
+	if inj.Reachable(6, 6) || inj.Reachable(0, 6) {
+		t.Fatal("dead router must be unreachable, even from itself")
+	}
+	if !inj.Reachable(0, 15) {
+		t.Fatal("4x4 mesh minus one interior router must stay connected")
+	}
+}
+
+func TestCaptureRestoreRoundTrip(t *testing.T) {
+	m := mesh4(t)
+	spec := Spec{Seed: 9, LinkRate: 2e-3, Schedule: []Event{{At: 100, Kind: "link", Node: 5, Dir: "N"}}}
+	a := NewInjector(spec, m)
+	for now := int64(0); now < 500; now++ {
+		a.Tick(now)
+	}
+	st := a.CaptureState()
+
+	b := NewInjector(spec, m)
+	if err := b.RestoreState(st); err != nil {
+		t.Fatal(err)
+	}
+	if b.Reachable(0, 5) != a.Reachable(0, 5) || b.HasPermanent() != a.HasPermanent() {
+		t.Fatal("derived reachability not rebuilt on restore")
+	}
+	for now := int64(500); now < 2_000; now++ {
+		if a.Tick(now) != b.Tick(now) {
+			t.Fatalf("restored injector diverged at cycle %d", now)
+		}
+	}
+	if !reflect.DeepEqual(a.CaptureState(), b.CaptureState()) {
+		t.Fatal("restored injector ends in different state")
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	m := mesh4(t)
+	bad := []Spec{
+		{LinkRate: -0.1},
+		{RouterRate: 1.5},
+		{Schedule: []Event{{At: 5, Kind: "blink", Node: 0}}},
+		{Schedule: []Event{{At: 5, Kind: "router", Node: 99}}},
+		{Schedule: []Event{{At: 5, Kind: "link", Node: 0, Dir: "W"}}}, // edge: no W link
+		{Schedule: []Event{{At: 5, Kind: "link", Node: 0, Dir: "E"}, {At: 1, Kind: "router", Node: 0}}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(m); err == nil {
+			t.Errorf("bad spec %d validated", i)
+		}
+	}
+	good := Spec{Seed: 1, LinkRate: 1e-4, Schedule: []Event{{At: 5, Kind: "link", Node: 0, Dir: "E", Transient: 50}}}
+	if err := good.Validate(m); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"link_rate": 0.001, "typo_field": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	s, err := ParseSpec([]byte(`{"seed": 3, "link_rate": 1e-4, "schedule": [{"at": 10, "kind": "router", "node": 2}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 3 || s.LinkRate != 1e-4 || len(s.Schedule) != 1 {
+		t.Fatalf("parsed spec wrong: %+v", s)
+	}
+}

@@ -1,0 +1,76 @@
+package fault
+
+import "fmt"
+
+// State is the serializable mutable state of an Injector. The spec and
+// mesh are construction parameters and rebuilt by the caller; component
+// labels are derived and recomputed on restore.
+type State struct {
+	RNG          uint64
+	LinkDown     []int64 // node-major, NumLinkDirs entries per node
+	RouterDown   []int64
+	SchedIdx     int
+	Ever         bool
+	LinkFaults   int64
+	RouterFaults int64
+	PermVersion  int64
+}
+
+// CaptureState copies the injector's mutable state.
+func (inj *Injector) CaptureState() State {
+	s := State{
+		RNG:          inj.rng.State(),
+		RouterDown:   append([]int64(nil), inj.routerDown...),
+		SchedIdx:     inj.schedIdx,
+		Ever:         inj.ever,
+		LinkFaults:   inj.linkFaults,
+		RouterFaults: inj.routerFaults,
+		PermVersion:  inj.permVersion,
+	}
+	for _, row := range inj.linkDown {
+		s.LinkDown = append(s.LinkDown, row...)
+	}
+	return s
+}
+
+// RestoreState overwrites the injector's mutable state and recomputes the
+// derived component labels.
+func (inj *Injector) RestoreState(s State) error {
+	n := inj.mesh.N()
+	if len(s.RouterDown) != n || len(s.LinkDown) != n*len(inj.linkDown[0]) {
+		return fmt.Errorf("fault: snapshot covers %d routers / %d link entries, injector has %d / %d",
+			len(s.RouterDown), len(s.LinkDown), n, n*len(inj.linkDown[0]))
+	}
+	inj.rng.SetState(s.RNG)
+	copy(inj.routerDown, s.RouterDown)
+	per := len(inj.linkDown[0])
+	for id := range inj.linkDown {
+		copy(inj.linkDown[id], s.LinkDown[id*per:(id+1)*per])
+	}
+	inj.schedIdx = s.SchedIdx
+	inj.ever = s.Ever
+	inj.linkFaults = s.LinkFaults
+	inj.routerFaults = s.RouterFaults
+	inj.comp = nil
+	hasPerm := false
+scan:
+	for id := range inj.routerDown {
+		if inj.routerDown[id] == permanentlyDown {
+			hasPerm = true
+			break
+		}
+		for _, st := range inj.linkDown[id] {
+			if st == permanentlyDown {
+				hasPerm = true
+				break scan
+			}
+		}
+	}
+	if hasPerm {
+		inj.recomputeComponents()
+	}
+	// The version is restored after the recompute so it matches the
+	// capture-time value exactly (recomputeComponents increments it).
+	inj.permVersion = s.PermVersion
+	return nil
+}

@@ -1,0 +1,180 @@
+package network
+
+import (
+	"encoding/json"
+	"testing"
+
+	"flov/internal/config"
+	"flov/internal/fault"
+	"flov/internal/gating"
+	"flov/internal/sim"
+	"flov/internal/topology"
+	"flov/internal/traffic"
+)
+
+// buildTraffic assembles a baseline network with uniform traffic, the
+// minimal workload the fault hooks integrate with.
+func buildTraffic(t *testing.T, cfg config.Config, rate float64) *Network {
+	t.Helper()
+	mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask := gating.FractionGated(mesh, 0, nil, sim.NewRNG(1))
+	gen := traffic.NewGenerator(traffic.Uniform, mesh, nil)
+	n, err := New(cfg, NewBaseline(), gating.Static(mask), gen, rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func faultTestConfig() config.Config {
+	cfg := config.Default()
+	cfg.Width, cfg.Height = 4, 4
+	cfg.TotalCycles = 3000
+	cfg.WarmupCycles = 300
+	return cfg
+}
+
+// TestZeroFaultSpecByteIdentity pins the acceptance criterion: attaching
+// a zero-rate, empty-schedule fault spec leaves the run byte-identical
+// to a network with no fault subsystem at all.
+func TestZeroFaultSpecByteIdentity(t *testing.T) {
+	cfg := faultTestConfig()
+	plain := buildTraffic(t, cfg, 0.05)
+
+	faulted := buildTraffic(t, cfg, 0.05)
+	// A non-zero seed must not matter either: the stream is never drawn
+	// from when both rates are zero and the schedule is empty.
+	if err := faulted.AttachFaults(fault.Spec{Seed: 99}); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := json.Marshal(plain.Run())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(faulted.Run())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("zero fault spec changed the run:\nplain:   %.300s\nfaulted: %.300s", a, b)
+	}
+	if faulted.FaultsEver() {
+		t.Fatal("zero spec reported an injected fault")
+	}
+}
+
+// TestPermanentRouterFaultAccounting: killing a router mid-run must end
+// in complete packet accounting — every measured packet is delivered,
+// classified as lost, or still countable in flight. Nothing vanishes and
+// nothing hangs (the run loop is bounded by TotalCycles + DrainCycles).
+func TestPermanentRouterFaultAccounting(t *testing.T) {
+	cfg := faultTestConfig()
+	n := buildTraffic(t, cfg, 0.05)
+	err := n.AttachFaults(fault.Spec{
+		Schedule:    []fault.Event{{At: 500, Kind: "router", Node: 5}},
+		DropTimeout: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := n.Run()
+
+	if res.FaultsInjected < 1 || res.RouterFaults < 1 {
+		t.Fatalf("scheduled router kill not recorded: injected=%d router=%d",
+			res.FaultsInjected, res.RouterFaults)
+	}
+	if res.LostPkts == 0 {
+		t.Fatal("no packets classified lost with a dead interior router")
+	}
+	stragglers := res.OfferedPkts - res.Packets - res.LostPkts
+	if stragglers < 0 {
+		t.Fatalf("accounting over-counts: offered=%d delivered=%d lost=%d",
+			res.OfferedPkts, res.Packets, res.LostPkts)
+	}
+	if res.Packets == 0 {
+		t.Fatal("one dead router killed all delivery")
+	}
+	t.Logf("offered=%d delivered=%d lost=%d stragglers=%d droppedFlits=%d",
+		res.OfferedPkts, res.Packets, res.LostPkts, stragglers, res.DroppedFlits)
+}
+
+// TestTransientLinkFaultsHealAndDeliver: rate-driven transient link
+// faults stall traffic but heal; with no permanent damage nothing may be
+// dropped, and the drain must still empty the network.
+func TestTransientLinkFaultsHealAndDeliver(t *testing.T) {
+	cfg := faultTestConfig()
+	cfg.TotalCycles = 4000
+	n := buildTraffic(t, cfg, 0.03)
+	err := n.AttachFaults(fault.Spec{Seed: 7, LinkRate: 2e-4, TransientCycles: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := n.Run()
+	if res.FaultsInjected == 0 || res.LinkFaults == 0 {
+		t.Fatalf("rate 2e-4 over %d cycles injected nothing", cfg.TotalCycles)
+	}
+	if res.LostPkts != 0 {
+		t.Fatalf("%d packets dropped with transient-only faults", res.LostPkts)
+	}
+	if res.Undelivered != 0 {
+		t.Fatalf("%d flits still in flight after drain with healed links", res.Undelivered)
+	}
+	if res.OfferedPkts != res.Packets {
+		t.Fatalf("offered %d != delivered %d with transient-only faults", res.OfferedPkts, res.Packets)
+	}
+}
+
+// TestFaultRunDeterminism: the same spec and seeds give byte-identical
+// results across two independently built networks.
+func TestFaultRunDeterminism(t *testing.T) {
+	run := func() []byte {
+		cfg := faultTestConfig()
+		n := buildTraffic(t, cfg, 0.05)
+		err := n.AttachFaults(fault.Spec{
+			Seed:     21,
+			LinkRate: 1e-4,
+			Schedule: []fault.Event{{At: 700, Kind: "link", Node: 9, Dir: "E"}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(n.Run())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Fatalf("fault runs diverge:\na: %.300s\nb: %.300s", a, b)
+	}
+}
+
+// TestAttachFaultsRejects covers the attachment contract: once only, at
+// cycle zero only, valid specs only.
+func TestAttachFaultsRejects(t *testing.T) {
+	cfg := faultTestConfig()
+	n := buildTraffic(t, cfg, 0.02)
+	if err := n.AttachFaults(fault.Spec{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AttachFaults(fault.Spec{}); err == nil {
+		t.Fatal("second attach accepted")
+	}
+
+	late := buildTraffic(t, cfg, 0.02)
+	late.Step()
+	if err := late.AttachFaults(fault.Spec{}); err == nil {
+		t.Fatal("attach after the first Step accepted")
+	}
+
+	bad := buildTraffic(t, cfg, 0.02)
+	err := bad.AttachFaults(fault.Spec{Schedule: []fault.Event{{At: 1, Kind: "cosmic", Node: 0}}})
+	if err == nil {
+		t.Fatal("invalid event kind accepted")
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"flov/internal/assert"
 	"flov/internal/config"
+	"flov/internal/fault"
 	"flov/internal/gating"
 	"flov/internal/nlog"
 	"flov/internal/noc"
@@ -68,17 +69,23 @@ type Network struct {
 	Gen      *traffic.Generator // nil for closed-loop (trace) runs
 	InjRate  float64            // offered load, flits/cycle/node
 
+	// Faults is the optional fault-injection subsystem (AttachFaults);
+	// nil for ordinary runs.
+	Faults *fault.Injector
+
 	// InjectHook, when set, replaces synthetic generation (closed-loop
 	// drivers enqueue packets themselves each cycle).
 	InjectHook func(now int64)
 
-	rng       *sim.RNG
-	injectors []*traffic.Injector
-	gatedMask []bool
-	schedIdx  int
-	nextPkt   uint64
-	now       int64
-	genStop   int64 // cycle after which synthetic generation stops
+	rng           *sim.RNG
+	faultSpecJSON string // canonical fault spec (snapshot compatibility)
+	dropAfter     int64  // fault drop timeout in cycles
+	injectors     []*traffic.Injector
+	gatedMask     []bool
+	schedIdx      int
+	nextPkt       uint64
+	now           int64
+	genStop       int64 // cycle after which synthetic generation stops
 
 	// ejectedAtWarmup snapshots the flit counter at the measurement-
 	// window start so throughput excludes warmup traffic.
@@ -232,6 +239,7 @@ func (n *Network) NewPacket(src, dst, vnet, size int) *noc.Packet {
 		CreatedAt: n.now,
 	}
 	n.nextPkt++
+	n.Stats.NotePacketCreated(n.now)
 	return p
 }
 
@@ -255,7 +263,13 @@ func (n *Network) Step() {
 		}
 	}
 
-	// 2. Traffic generation.
+	// 2. Fault injection (before traffic generation, so a fault landing
+	// at cycle t is visible to everything that runs at t).
+	if n.Faults != nil {
+		n.stepFaults(now)
+	}
+
+	// 3. Traffic generation.
 	if n.Gen != nil && now < n.genStop {
 		for id := 0; id < n.Cfg.N(); id++ {
 			if n.gatedMask[id] || !n.injectors[id].ShouldInject() {
@@ -272,19 +286,19 @@ func (n *Network) Step() {
 		n.InjectHook(now)
 	}
 
-	// 3. Routers (mechanism-specific: gated routers run latch datapaths).
+	// 4. Routers (mechanism-specific: gated routers run latch datapaths).
 	n.Mech.TickRouters(now)
 
-	// 4. Network interfaces.
+	// 5. Network interfaces.
 	for _, ni := range n.NIs {
 		ni.Tick(now)
 	}
 
-	// 5. Leakage integration.
+	// 6. Leakage integration.
 	on, gated := n.Mech.RouterPowerCounts()
 	n.Ledger.TickStatic(on, gated, n.Mech.FLOVCapable())
 
-	// 6. Runtime invariants (flovdebug builds only; compiled away
+	// 7. Runtime invariants (flovdebug builds only; compiled away
 	// otherwise).
 	if assert.On {
 		n.CheckInvariants()

@@ -102,6 +102,29 @@ func (ni *NI) Busy() bool {
 	return false
 }
 
+// DropWhere removes queued packets matching pred (classified fault
+// losses), invoking onDrop for each. Packets mid-serialization are left
+// alone — their flits are already in the network and are dropped at a
+// router once the whole packet is co-resident there.
+func (ni *NI) DropWhere(pred func(p *noc.Packet) bool, onDrop func(p *noc.Packet)) {
+	for v := range ni.queues {
+		kept := ni.queues[v][:0]
+		for _, p := range ni.queues[v] {
+			if pred(p) {
+				onDrop(p)
+			} else {
+				kept = append(kept, p)
+			}
+		}
+		// Zero the tail so dropped packets do not linger in the backing
+		// array.
+		for i := len(kept); i < len(ni.queues[v]); i++ {
+			ni.queues[v][i] = nil
+		}
+		ni.queues[v] = kept
+	}
+}
+
 // EachPending visits every packet queued or mid-injection at this NI
 // (used by Router Parking's fabric manager to avoid parking routers that
 // still have traffic headed their way).

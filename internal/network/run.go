@@ -42,6 +42,14 @@ type Results struct {
 	Timeline       []stats.TimeBin
 	GatedRouters   int // routers power-gated at the end of the run
 	PoweredRouters int
+
+	// Reliability (fault-injection runs; zero otherwise).
+	OfferedPkts    int64 `json:",omitempty"` // measured packets created
+	LostPkts       int64 `json:",omitempty"` // classified losses (dropped)
+	DroppedFlits   int64 `json:",omitempty"` // flits discarded by drops
+	FaultsInjected int64 `json:",omitempty"`
+	LinkFaults     int64 `json:",omitempty"`
+	RouterFaults   int64 `json:",omitempty"`
 }
 
 // String renders a one-line summary.
@@ -133,6 +141,14 @@ func (n *Network) collect() Results {
 		Timeline:        st.Timeline(),
 		GatedRouters:    gated,
 		PoweredRouters:  on,
+		OfferedPkts:     st.Created(),
+		LostPkts:        st.Lost(),
+		DroppedFlits:    st.DroppedFlits(),
+	}
+	if n.Faults != nil {
+		res.FaultsInjected = n.Faults.FaultsInjected()
+		res.LinkFaults = n.Faults.LinkFaults()
+		res.RouterFaults = n.Faults.RouterFaults()
 	}
 	if n.Gen != nil {
 		res.Pattern = n.Gen.Pattern.String()

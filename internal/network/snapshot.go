@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 
+	"flov/internal/fault"
 	"flov/internal/noc"
 	"flov/internal/power"
 	"flov/internal/router"
@@ -101,6 +102,11 @@ type State struct {
 	NIs             []NIState
 	Stats           stats.CollectorState
 	Ledger          power.LedgerState
+	// Faults carries the injector state of fault-injection runs; FaultSpec
+	// is the attached spec in canonical JSON so restoring into a network
+	// with a different (or no) spec fails loudly.
+	Faults    *fault.State `json:",omitempty"`
+	FaultSpec string       `json:",omitempty"`
 }
 
 // CaptureState copies the network's mutable state, registering every
@@ -116,6 +122,11 @@ func (n *Network) CaptureState(t *noc.PacketTable) State {
 		GatedMask:       append([]bool(nil), n.gatedMask...),
 		Stats:           n.Stats.CaptureState(),
 		Ledger:          n.Ledger.CaptureState(),
+	}
+	if n.Faults != nil {
+		fs := n.Faults.CaptureState()
+		s.Faults = &fs
+		s.FaultSpec = n.faultSpecJSON
 	}
 	for _, inj := range n.injectors {
 		s.InjectorRNGs = append(s.InjectorRNGs, inj.RNGState())
@@ -144,6 +155,13 @@ func (n *Network) RestoreState(s State, pkts []*noc.Packet) error {
 	if len(s.GatedMask) != n.Cfg.N() {
 		return fmt.Errorf("network: snapshot gating mask covers %d nodes, config has %d", len(s.GatedMask), n.Cfg.N())
 	}
+	if (s.Faults != nil) != (n.Faults != nil) {
+		return fmt.Errorf("network: snapshot fault state present=%v, network fault injector present=%v",
+			s.Faults != nil, n.Faults != nil)
+	}
+	if n.Faults != nil && s.FaultSpec != n.faultSpecJSON {
+		return fmt.Errorf("network: snapshot fault spec %q does not match attached spec %q", s.FaultSpec, n.faultSpecJSON)
+	}
 	for id, r := range n.Routers {
 		if err := r.RestoreState(s.Routers[id], pkts); err != nil {
 			return err
@@ -169,5 +187,15 @@ func (n *Network) RestoreState(s State, pkts []*noc.Packet) error {
 	}
 	n.Stats.RestoreState(s.Stats)
 	n.Ledger.RestoreState(s.Ledger)
+	if n.Faults != nil {
+		if err := n.Faults.RestoreState(*s.Faults); err != nil {
+			return err
+		}
+		// Frozen is derived from the injector; router.State does not carry
+		// it.
+		for id, r := range n.Routers {
+			r.Frozen = !n.Faults.RouterUp(id)
+		}
+	}
 	return nil
 }

@@ -24,6 +24,7 @@ const (
 	KReconfig               // Router Parking reconfiguration
 	KGating                 // core-gating mask change
 	KService                // serving-layer lifecycle (flovd job queue, drain)
+	KFault                  // fault injection/heal, classified packet drops
 	numKinds
 )
 
@@ -44,6 +45,8 @@ func (k Kind) String() string {
 		return "gating"
 	case KService:
 		return "service"
+	case KFault:
+		return "fault"
 	default:
 		return "?"
 	}

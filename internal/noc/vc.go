@@ -100,6 +100,11 @@ func (v *InputVC) Front() *Flit {
 	return v.buf[0].flit
 }
 
+// At returns the i-th buffered flit (0 = front) without removing it; used
+// by the fault-drop path to check a whole packet is resident. Call only
+// with i < Len().
+func (v *InputVC) At(i int) *Flit { return v.buf[i].flit }
+
 // FrontArrived returns the arrival cycle of the front flit; call only when
 // non-empty.
 func (v *InputVC) FrontArrived() int64 { return v.buf[0].arrived }

@@ -1,0 +1,241 @@
+package relcheck
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flov/internal/config"
+	"flov/internal/fault"
+	"flov/internal/sweep"
+	"flov/internal/traffic"
+)
+
+// testSpec is a small matrix over a 4x4 mesh: two mechanisms, a
+// fault-free control column and a transient-fault column, two trials.
+func testSpec() Spec {
+	cfg := config.Default()
+	cfg.Width, cfg.Height = 4, 4
+	cfg.TotalCycles = 2000
+	cfg.WarmupCycles = 200 // Jobs must override this to 0
+	return Spec{
+		Config:     cfg,
+		Pattern:    traffic.Uniform,
+		Rate:       0.02,
+		Frac:       0.5,
+		Mechanisms: []config.Mechanism{config.Baseline, config.GFLOV},
+		Faults: []fault.Spec{
+			{},
+			{Seed: 9, LinkRate: 2e-4, TransientCycles: 40},
+		},
+		Trials:   2,
+		SeedBase: 100,
+	}
+}
+
+// TestJobsDerivation pins the job expansion: cell-major order, per-trial
+// seeds, forced zero warmup, and fault seeds that differ per trial but
+// are a pure function of the spec.
+func TestJobsDerivation(t *testing.T) {
+	s := testSpec()
+	jobs := s.Jobs()
+	if want := len(s.Mechanisms) * len(s.Faults) * s.Trials; len(jobs) != want {
+		t.Fatalf("got %d jobs, want %d", len(jobs), want)
+	}
+	for i, j := range jobs {
+		if j.Config.WarmupCycles != 0 {
+			t.Errorf("job %d: warmup %d, want 0", i, j.Config.WarmupCycles)
+		}
+		if j.Faults == nil {
+			t.Fatalf("job %d: no fault spec attached", i)
+		}
+		trial := i % s.Trials
+		if want := s.SeedBase + uint64(trial); j.Config.Seed != want {
+			t.Errorf("job %d: seed %d, want %d", i, j.Config.Seed, want)
+		}
+		if j.MaskSeed != j.Config.Seed^0xabcd {
+			t.Errorf("job %d: mask seed not flovsim-compatible", i)
+		}
+	}
+	// Trials of one cell draw distinct fault seeds; the same trial index
+	// draws the same fault seed in every cell (scenario seed aside).
+	if jobs[0].Faults.Seed == jobs[1].Faults.Seed {
+		t.Error("trials 0 and 1 share a fault seed")
+	}
+	again := s.Jobs()
+	for i := range jobs {
+		if jobs[i].Hash() != again[i].Hash() {
+			t.Errorf("job %d hash changed across derivations", i)
+		}
+	}
+}
+
+// TestVerdictClassification drives report() with hand-built results and
+// checks each cell lands on the right verdict.
+func TestVerdictClassification(t *testing.T) {
+	s := testSpec()
+	s.Mechanisms = s.Mechanisms[:1]
+	s.Faults = s.Faults[:1]
+	s.Trials = 2
+	jobs := s.Jobs()
+
+	mk := func(offered, delivered, lost int64, errMsg string) []sweep.Result {
+		rs := make([]sweep.Result, len(jobs))
+		for i, j := range jobs {
+			rs[i] = sweep.Result{Job: j}
+			rs[i].Res.OfferedPkts = offered
+			rs[i].Res.Packets = delivered
+			rs[i].Res.LostPkts = lost
+			rs[i].Res.P99Latency = 64
+		}
+		if errMsg != "" {
+			rs[len(rs)-1] = sweep.Result{Job: jobs[len(rs)-1], Err: errMsg}
+		}
+		return rs
+	}
+
+	held := s.report(mk(100, 100, 0, ""))
+	if v := held.Cells[0].Verdict; v != Held {
+		t.Errorf("all delivered: verdict %v, want HELD", v)
+	}
+	if p := held.Cells[0].DeliveryP; p != 1 {
+		t.Errorf("all delivered: p=%g, want 1", p)
+	}
+	if ci := held.Cells[0].CI; ci.Hi != 1 || ci.Lo >= 1 || ci.Lo < 0.9 {
+		t.Errorf("200/200 Wilson CI %+v implausible", ci)
+	}
+
+	degraded := s.report(mk(100, 97, 3, ""))
+	if v := degraded.Cells[0].Verdict; v != Degraded {
+		t.Errorf("classified losses: verdict %v, want DEGRADED", v)
+	}
+	if got := degraded.Cells[0].Lost; got != 6 {
+		t.Errorf("lost=%d, want 6", got)
+	}
+
+	straggling := s.report(mk(100, 98, 0, ""))
+	if v := straggling.Cells[0].Verdict; v != Degraded {
+		t.Errorf("stragglers: verdict %v, want DEGRADED", v)
+	}
+	if got := straggling.Cells[0].Stragglers; got != 4 {
+		t.Errorf("stragglers=%d, want 4", got)
+	}
+
+	violated := s.report(mk(100, 100, 0, "panic: credit conservation"))
+	c := violated.Cells[0]
+	if c.Verdict != Violated {
+		t.Errorf("oracle trip: verdict %v, want VIOLATED", c.Verdict)
+	}
+	if c.Violations != 1 || c.FailedSeed != s.SeedBase+1 || !strings.Contains(c.Err, "credit") {
+		t.Errorf("violation bookkeeping wrong: %+v", c)
+	}
+	if !violated.Violated() {
+		t.Error("Report.Violated() false with a violated cell")
+	}
+}
+
+// TestRunSmallMatrix runs the real matrix end to end, twice, and checks
+// the fault-free control column holds while the whole report stays
+// byte-identical across runs (the determinism the cache key relies on).
+func TestRunSmallMatrix(t *testing.T) {
+	s := testSpec()
+	rep, err := Run(context.Background(), s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(rep.Cells))
+	}
+	for _, c := range rep.Cells {
+		if c.FaultIndex == 0 {
+			if c.Verdict != Held {
+				t.Errorf("%s fault-free control: verdict %v (lost=%d stragglers=%d err=%q)",
+					c.Mechanism, c.Verdict, c.Lost, c.Stragglers, c.Err)
+			}
+			if c.DeliveryP != 1 {
+				t.Errorf("%s fault-free control: delivery %g, want 1", c.Mechanism, c.DeliveryP)
+			}
+		}
+		if c.Verdict == Violated {
+			t.Errorf("%s under transient faults: VIOLATED: %s", c.Mechanism, c.Err)
+		}
+		if c.Offered == 0 {
+			t.Errorf("%s: no packets offered", c.Mechanism)
+		}
+		if c.CI.Lo > c.DeliveryP || c.CI.Hi < c.DeliveryP {
+			t.Errorf("%s: CI [%g,%g] excludes point estimate %g", c.Mechanism, c.CI.Lo, c.CI.Hi, c.DeliveryP)
+		}
+	}
+	again, err := Run(context.Background(), s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(rep)
+	b, _ := json.Marshal(again)
+	if string(a) != string(b) {
+		t.Errorf("same spec, different reports across runs:\n%s\n%s", a, b)
+	}
+	if tbl := rep.Table(); !strings.Contains(tbl, "HELD") || !strings.Contains(tbl, "fault-free") {
+		t.Errorf("table rendering missing expected cells:\n%s", tbl)
+	}
+}
+
+// TestWriteArtifacts checks the replay bundle of a violated cell: fault
+// spec and sidecar land on disk and the suggested command carries the
+// seeds needed to reproduce under flovsim.
+func TestWriteArtifacts(t *testing.T) {
+	s := testSpec()
+	s.Mechanisms = s.Mechanisms[:1]
+	s.Faults = s.Faults[1:]
+	s.Trials = 1
+	jobs := s.Jobs()
+	results := []sweep.Result{{Job: jobs[0], Err: "panic: injected for test"}}
+	rep := s.report(results)
+	if !rep.Violated() {
+		t.Fatal("fixture report not violated")
+	}
+
+	dir := t.TempDir()
+	arts, err := WriteArtifacts(dir, s, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arts) != 1 {
+		t.Fatalf("got %d artifacts, want 1", len(arts))
+	}
+	a := arts[0]
+	if a.Seed != s.SeedBase {
+		t.Errorf("artifact seed %d, want %d", a.Seed, s.SeedBase)
+	}
+	for _, p := range []string{a.FaultSpec, a.Snapshot} {
+		if p == "" {
+			t.Fatalf("artifact missing a file path: %+v", a)
+		}
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("artifact file: %v", err)
+		}
+	}
+	if !strings.Contains(a.Command, "-faults ") || !strings.Contains(a.Command, "-restore ") {
+		t.Errorf("replay command incomplete: %s", a.Command)
+	}
+	// The fault-spec file round-trips through the flovsim -faults parser.
+	data, err := os.ReadFile(a.FaultSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := fault.ParseSpec(data)
+	if err != nil {
+		t.Fatalf("artifact fault spec does not parse: %v", err)
+	}
+	if fs.Seed != a.Job.Faults.Seed {
+		t.Errorf("fault spec seed %d, want %d", fs.Seed, a.Job.Faults.Seed)
+	}
+	// Sidecar exists next to the others.
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.replay.json"))
+	if len(matches) != 1 {
+		t.Errorf("want 1 replay sidecar, found %v", matches)
+	}
+}

@@ -1,0 +1,60 @@
+package relcheck
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+
+	"flov/internal/fault"
+)
+
+// FaultDesc renders a short human-readable label for one fault scenario,
+// used as the column key of the verdict table.
+func FaultDesc(fs fault.Spec) string {
+	if fs.Zero() {
+		return "fault-free"
+	}
+	var parts []string
+	if fs.LinkRate > 0 {
+		parts = append(parts, fmt.Sprintf("link=%g", fs.LinkRate))
+	}
+	if fs.RouterRate > 0 {
+		parts = append(parts, fmt.Sprintf("router=%g", fs.RouterRate))
+	}
+	if len(fs.Schedule) > 0 {
+		parts = append(parts, fmt.Sprintf("events=%d", len(fs.Schedule)))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Table renders the verdict matrix as an aligned text table, one row per
+// (mechanism, fault scenario) cell.
+func (r Report) Table() string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	// tabwriter only fails when its underlying writer does; a Builder never does.
+	_, _ = fmt.Fprintf(w, "mechanism\tfault\tdelivered/offered\tp(deliver) [%g%% CI]\tlost\tstragglers\tp99<=\tverdict\n", r.Confidence*100)
+	for _, c := range r.Cells {
+		verdict := c.Verdict.String()
+		if c.Verdict == Violated {
+			verdict = fmt.Sprintf("%s (%d/%d trials, seed %d: %s)",
+				verdict, c.Violations, len(c.Trials), c.FailedSeed, firstLine(c.Err))
+		}
+		_, _ = fmt.Fprintf(w, "%s\t%s\t%d/%d\t%.4f [%.4f, %.4f]\t%d\t%d\t%d\t%s\n",
+			c.Mechanism, FaultDesc(c.Fault),
+			c.Delivered, c.Offered,
+			c.DeliveryP, c.CI.Lo, c.CI.Hi,
+			c.Lost, c.Stragglers, c.MaxP99, verdict)
+	}
+	_ = w.Flush()
+	return b.String()
+}
+
+// firstLine truncates a multi-line oracle message (panic values carry
+// stack traces) to its first line for the table.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

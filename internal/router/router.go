@@ -41,6 +41,26 @@ func CreditSignal(vc int) Signal { return Signal{IsCredit: true, VC: vc} }
 // CtrlSignal builds a control-message signal.
 func CtrlSignal(msg any) Signal { return Signal{Msg: msg} }
 
+// FaultHook is the router's window onto an attached fault injector. The
+// network installs one per router (capturing the router id); semantics
+// live entirely on the network side so the router stays fault-agnostic.
+type FaultHook interface {
+	// FilterRoute post-processes a routing decision for a head flit that
+	// has waited `waited` cycles since last progress; it may substitute a
+	// reroute, NoRoute, or an Undeliverable classification.
+	FilterRoute(inDir topology.Direction, pkt *noc.Packet, dec routing.Decision, waited int64) routing.Decision
+	// LinkBlocked reports whether traversal onto output d is currently
+	// forbidden (failed link, or permanently failed neighbor).
+	LinkBlocked(d topology.Direction) bool
+	// Recovering reports whether any fault has been injected so far,
+	// enabling the VA-starvation escape heuristic. Must be false until
+	// the first fault so fault-free runs stay byte-identical.
+	Recovering() bool
+	// StuckDrop reports whether a head flit wedged in VC allocation for
+	// `waited` cycles should be dropped as undeliverable.
+	StuckDrop(pkt *noc.Packet, waited int64) bool
+}
+
 // PortLink bundles the four directed channels of one router port. At mesh
 // edges the non-existent neighbor's queues are nil. The Local port links
 // the router to its network interface with the same machinery.
@@ -78,6 +98,19 @@ type Router struct {
 	// credits that raced ahead of (and are already included in) the
 	// pending MsgCreditSync snapshot.
 	DropCredit func(from topology.Direction) bool
+
+	// Faults, when non-nil, is the fault-injection subsystem's per-router
+	// hook: it filters routing decisions, blocks switch traversal onto
+	// failed links and enables the fault-recovery heuristics. While no
+	// fault has been injected every method is a strict no-op.
+	Faults FaultHook
+	// OnDrop observes packets the fault path drops (classified losses):
+	// flits is how many buffered flits were discarded. nil ignores.
+	OnDrop func(pkt *noc.Packet, flits int, now int64)
+	// Frozen, when true, halts the whole pipeline: a faulted router
+	// processes nothing until the fault heals. Links into it still queue
+	// (bounded by credits).
+	Frozen bool
 
 	Ledger *power.Ledger
 
@@ -117,8 +150,12 @@ func (r *Router) Out(d topology.Direction) *noc.OutputVCState { return r.out[d] 
 func (r *Router) InVC(d topology.Direction, vc int) *noc.InputVC { return r.in[d][vc] }
 
 // Tick advances the router one cycle: control processing, flit receive,
-// then the RC, VA and SA/ST pipeline stages.
+// then the RC, VA and SA/ST pipeline stages. A Frozen (faulted) router
+// does nothing — its state is preserved until the fault heals.
 func (r *Router) Tick(now int64) {
+	if r.Frozen {
+		return
+	}
 	r.processCtrl(now)
 	r.receive(now)
 	r.stageRC(now)
@@ -205,7 +242,14 @@ func (r *Router) stageRC(now int64) {
 				pkt.Escape = true
 			}
 			dec := r.RouteFn(topology.Direction(p), pkt.Escape, pkt)
+			if r.Faults != nil {
+				dec = r.Faults.FilterRoute(topology.Direction(p), pkt, dec, now-ivc.WaitSince)
+			}
 			switch {
+			case dec.Undeliverable:
+				// Partition (or fault wedge) classified: drop the packet
+				// explicitly once all its flits are co-resident.
+				r.dropFront(topology.Direction(p), ivc, now)
 			case dec.Hold:
 				if r.WakeReq != nil {
 					r.WakeReq(dec.WakeTarget)
@@ -295,6 +339,33 @@ func (r *Router) stageVA(now int64) {
 			r.Ledger.AddDyn(power.CatArbitration, 1)
 		}
 		r.vaPtr[out]++
+
+		// Fault recovery: a requester starved of a VC grant past the
+		// escape timeout (the downstream VC may be wedged behind failed
+		// hardware) escalates to the escape subnetwork, and one wedged
+		// beyond the drop timeout is classified undeliverable. Inactive
+		// until the first fault, so fault-free runs are unaffected.
+		if r.Faults != nil && r.Faults.Recovering() {
+			for _, q := range reqs {
+				ivc := q.ivc
+				if ivc.State != noc.VCWaitVC {
+					continue
+				}
+				f := ivc.Front()
+				if f == nil {
+					continue
+				}
+				waited := now - ivc.WaitSince
+				if r.Faults.StuckDrop(f.Pkt, waited) {
+					r.dropFront(topology.Direction(q.port), ivc, now)
+					continue
+				}
+				if !f.Pkt.Escape && waited > int64(r.Cfg.EscapeTimeout) {
+					f.Pkt.Escape = true
+					ivc.State = noc.VCRouting
+				}
+			}
+		}
 	}
 }
 
@@ -325,6 +396,14 @@ func (r *Router) stageSA(now int64) {
 				continue
 			}
 			if ivc.FrontArrived()+pipeGate > now {
+				continue
+			}
+			if r.Faults != nil && ivc.OutDir != topology.Local && r.Faults.LinkBlocked(ivc.OutDir) {
+				// Failed link: no new traversal onto it. An untouched head
+				// may re-route (escape packets included, so they can take
+				// an alternate legal turn); partially sent packets wait
+				// for the fault to heal.
+				r.releaseBlocked(ivc, now)
 				continue
 			}
 			od := int(ivc.OutDir)
@@ -378,6 +457,78 @@ func (r *Router) maybeEscapeStarved(ivc *noc.InputVC, now int64) {
 	ivc.OutVC = -1
 	f.Pkt.Escape = true
 	ivc.State = noc.VCRouting
+}
+
+// releaseBlocked undoes an untouched VC allocation toward a failed link
+// after the escape timeout, sending the head back to route computation in
+// escape mode so it can pick a surviving path. Unlike maybeEscapeStarved
+// it also releases packets already in escape mode — their deterministic
+// escape route died under them and must be recomputed.
+func (r *Router) releaseBlocked(ivc *noc.InputVC, now int64) {
+	f := ivc.Front()
+	if f == nil || !f.Type.IsHead() {
+		return // mid-packet: must wait for the link to heal
+	}
+	if now-ivc.WaitSince <= int64(r.Cfg.EscapeTimeout) {
+		return // give a transient fault a chance to heal in place
+	}
+	r.out[ivc.OutDir].Allocated[ivc.OutVC] = false
+	ivc.OutVC = -1
+	f.Pkt.Escape = true
+	ivc.State = noc.VCRouting
+}
+
+// dropFront discards the packet at the front of ivc as a classified loss:
+// every buffered flit is popped, its upstream credit returned (so flow
+// control stays conserved), and OnDrop notified. It only acts once the
+// whole packet is resident (head through tail) — wormhole flow control
+// plus PacketSize <= BufferDepth guarantees the remaining flits arrive —
+// and reports whether the drop happened. The VC must hold no downstream
+// allocation (VCRouting/VCWaitVC states only).
+func (r *Router) dropFront(port topology.Direction, ivc *noc.InputVC, now int64) bool {
+	head := ivc.Front()
+	if head == nil {
+		return false
+	}
+	pkt := head.Pkt
+	count := 0
+	complete := false
+	for i := 0; i < ivc.Len(); i++ {
+		f := ivc.At(i)
+		if f.Pkt != pkt {
+			break
+		}
+		count++
+		if f.Type.IsTail() {
+			complete = true
+			break
+		}
+	}
+	if !complete {
+		return false
+	}
+	for i := 0; i < count; i++ {
+		ivc.Pop()
+		if r.Ports[port].OutCtrl != nil {
+			r.Ports[port].OutCtrl.Push(now, CreditSignal(ivc.Index))
+			r.Ledger.AddDyn(power.CatCredit, 1)
+		}
+	}
+	if ivc.Empty() {
+		ivc.Reset()
+	} else {
+		nf := ivc.Front()
+		if !nf.Type.IsHead() {
+			panic(fmt.Sprintf("router %d: flit %s behind dropped tail is not a head", r.ID, nf))
+		}
+		ivc.OutVC = -1
+		ivc.State = noc.VCRouting
+		ivc.WaitSince = now
+	}
+	if r.OnDrop != nil {
+		r.OnDrop(pkt, count, now)
+	}
+	return true
 }
 
 // traverse moves the winning flit through the crossbar onto its output

@@ -1,0 +1,87 @@
+package routing
+
+import (
+	"flov/internal/topology"
+)
+
+// FaultView is routing's window onto the fault-injection subsystem: which
+// links are currently usable, what stays mutually reachable despite
+// permanent damage, and when a wedged packet should give up. Implemented
+// by package network over a fault.Injector; nil-free by construction (the
+// filter is only installed when faults are attached).
+type FaultView interface {
+	// LinkUsable reports whether the link from node in direction d may be
+	// chosen for new traffic this cycle: the link itself is healthy and
+	// the neighbor it leads to has not failed permanently.
+	LinkUsable(node int, d topology.Direction) bool
+	// Reachable reports whether a packet at router a can ever reach
+	// router b given the permanent faults injected so far.
+	Reachable(a, b int) bool
+	// StuckUndeliverable reports whether a head flit that has waited this
+	// many cycles without a route should be classified undeliverable
+	// (true only while permanent faults exist and the wait exceeds the
+	// drop timeout).
+	StuckUndeliverable(waited int64) bool
+	// Faulted reports whether any fault has been injected so far; while
+	// false the filter must be a strict no-op, keeping zero-fault runs
+	// byte-identical to runs without the fault subsystem.
+	Faulted() bool
+}
+
+// ApplyFaults post-filters a mechanism's routing decision under the
+// current fault state. It either passes the decision through, substitutes
+// a legal escape alternative around a failed link, downgrades the move to
+// NoRoute (wait for a transient fault to heal or the escape timeout to
+// engage), or classifies the packet as Undeliverable — never silently
+// forwards into failed hardware.
+func ApplyFaults(m topology.Mesh, cur, dst int, inDir topology.Direction, escape bool,
+	dec Decision, waited int64, fv FaultView) Decision {
+	if !fv.Faulted() {
+		return dec
+	}
+	if !fv.Reachable(cur, dst) {
+		return Decision{Undeliverable: true}
+	}
+	if dec.Hold {
+		// The gated destination lies in our component (checked above), so
+		// the wakeup will eventually land; transient faults on the way
+		// heal. Keep holding.
+		return dec
+	}
+	if !dec.NoRoute && dec.Dir != topology.Local && !fv.LinkUsable(cur, dec.Dir) {
+		if escape {
+			if alt, ok := EscapeAlternate(m, cur, inDir, fv); ok {
+				return Decision{Dir: alt}
+			}
+		}
+		dec = Decision{NoRoute: true}
+	}
+	if dec.NoRoute && fv.StuckUndeliverable(waited) {
+		return Decision{Undeliverable: true}
+	}
+	return dec
+}
+
+// EscapeAlternate picks a deterministic legal escape move around failed
+// links: the first direction (N, E, S, W order) with a usable link that
+// respects the escape turn set of Fig. 4(b) relative to the packet's
+// travel direction and is not the forbidden U-turn port. Staying inside
+// the acyclic turn set preserves escape deadlock freedom; when no such
+// move exists the packet waits (and is eventually classified if permanent
+// faults have wedged it).
+func EscapeAlternate(m topology.Mesh, cur int, inDir topology.Direction, fv FaultView) (topology.Direction, bool) {
+	travel := topology.Local
+	if inDir != topology.Local {
+		travel = inDir.Opposite()
+	}
+	for d := topology.Direction(0); d < topology.NumLinkDirs; d++ {
+		if d == inDir || !m.HasNeighbor(cur, d) || !fv.LinkUsable(cur, d) {
+			continue
+		}
+		if !EscapeTurnAllowed(travel, d) {
+			continue
+		}
+		return d, true
+	}
+	return 0, false
+}

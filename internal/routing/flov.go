@@ -34,6 +34,12 @@ type Decision struct {
 	// packet waits and may later time out into the escape subnetwork,
 	// where a route always exists.
 	NoRoute bool
+	// Undeliverable means the packet can never reach its destination
+	// (a permanent fault partitioned the network, or the packet has been
+	// wedged past the fault drop timeout). The router drops the packet
+	// explicitly — a classified loss, never a silent hang. Only the
+	// fault-injection subsystem produces this.
+	Undeliverable bool
 }
 
 // destGatedOnPath reports whether dst is a power-gated router lying on the

@@ -36,12 +36,23 @@ type upDownState struct {
 // ones (so detours only appear where parking forces them, matching the
 // RP behaviour the paper describes).
 func BuildUpDownTable(m topology.Mesh, active []bool, root int) (*Table, error) {
+	return BuildUpDownTableLinks(m, active, root, nil)
+}
+
+// BuildUpDownTableLinks is BuildUpDownTable restricted to usable links:
+// linkOK(u, d) reports whether the physical link from u in direction d may
+// carry traffic (nil allows every link). The fault-aware Router Parking
+// reconfiguration uses it to route around permanently failed links.
+func BuildUpDownTableLinks(m topology.Mesh, active []bool, root int, linkOK func(u int, d topology.Direction) bool) (*Table, error) {
 	n := m.N()
 	if len(active) != n {
 		return nil, fmt.Errorf("routing: active mask has %d entries for %d nodes", len(active), n)
 	}
 	if !active[root] {
 		return nil, fmt.Errorf("routing: up*/down* root %d is not active", root)
+	}
+	usable := func(u int, d topology.Direction) bool {
+		return linkOK == nil || linkOK(u, d)
 	}
 
 	// BFS levels from root over the active subgraph define up/down.
@@ -56,7 +67,7 @@ func BuildUpDownTable(m topology.Mesh, active []bool, root int) (*Table, error) 
 		queue = queue[1:]
 		for d := topology.Direction(0); d < topology.NumLinkDirs; d++ {
 			v := m.Neighbor(u, d)
-			if v >= 0 && active[v] && level[v] < 0 {
+			if v >= 0 && active[v] && usable(u, d) && level[v] < 0 {
 				level[v] = level[u] + 1
 				queue = append(queue, v)
 			}
@@ -101,7 +112,7 @@ func BuildUpDownTable(m topology.Mesh, active []bool, root int) (*Table, error) 
 			for _, e := range frontier {
 				for d := topology.Direction(0); d < topology.NumLinkDirs; d++ {
 					v := m.Neighbor(e.st.node, d)
-					if v < 0 || !active[v] || level[v] < 0 {
+					if v < 0 || !active[v] || level[v] < 0 || !usable(e.st.node, d) {
 						continue
 					}
 					up := isUp(e.st.node, v)
@@ -133,6 +144,13 @@ func BuildUpDownTable(m topology.Mesh, active []bool, root int) (*Table, error) 
 // under mesh adjacency restricted to active nodes. Vacuously true when
 // fewer than two nodes are active.
 func Connected(m topology.Mesh, active []bool) bool {
+	return ConnectedLinks(m, active, nil)
+}
+
+// ConnectedLinks is Connected restricted to usable links: linkOK(u, d)
+// reports whether the physical link from u in direction d may carry
+// traffic (nil allows every link).
+func ConnectedLinks(m topology.Mesh, active []bool, linkOK func(u int, d topology.Direction) bool) bool {
 	n := m.N()
 	start := -1
 	total := 0
@@ -156,7 +174,7 @@ func Connected(m topology.Mesh, active []bool) bool {
 		queue = queue[1:]
 		for d := topology.Direction(0); d < topology.NumLinkDirs; d++ {
 			v := m.Neighbor(u, d)
-			if v >= 0 && active[v] && !seen[v] {
+			if v >= 0 && active[v] && !seen[v] && (linkOK == nil || linkOK(u, d)) {
 				seen[v] = true
 				count++
 				queue = append(queue, v)

@@ -40,9 +40,19 @@ type Mechanism struct {
 	reconfigReady int64  // cycle Phase I completes
 	pendingGated  []bool // core mask to apply at the end of Phase I
 
+	// faultPermSeen is the last fault.Injector.PermanentVersion the FM
+	// reconfigured for; transient faults never trigger reconfiguration.
+	faultPermSeen int64
+
 	reconfigs  int64
 	stallStart int64
 }
+
+// forcedApplyGrace bounds how long a reconfiguration waits for the
+// network to empty once permanent faults exist: flits wedged in dead
+// hardware would otherwise stall Phase I forever. Only fault-injection
+// runs ever take this path.
+const forcedApplyGrace = 2048
 
 // New returns a Router Parking mechanism with the fabric manager at node
 // 0 (the south-west corner, a memory-controller node in the full-system
@@ -71,8 +81,10 @@ func (m *Mechanism) Attach(n *network.Network) {
 		r.RouteFn = func(inDir topology.Direction, escape bool, pkt *noc.Packet) routing.Decision {
 			d := m.table.NextHop(cur, pkt.Dst)
 			if d == routing.NoRouteDir {
-				// Unreachable destinations cannot occur: traffic only
-				// targets active cores, whose routers are never parked.
+				// Without faults this cannot occur: traffic only targets
+				// active cores, whose routers are never parked. Permanent
+				// faults can cut a destination off, in which case the
+				// network's fault filter classifies the packet.
 				return routing.Decision{NoRoute: true}
 			}
 			return routing.Decision{Dir: d}
@@ -111,8 +123,24 @@ func (m *Mechanism) TickRouters(now int64) {
 			r.Tick(now)
 		}
 	}
-	if m.reconfiguring && now >= m.reconfigReady && m.networkEmpty() {
+	if m.reconfiguring && now >= m.reconfigReady &&
+		(m.networkEmpty() || (m.net.FaultsEver() && now >= m.reconfigReady+forcedApplyGrace)) {
 		m.applyReconfiguration(now)
+	}
+}
+
+// OnFaultChange implements network.FaultAware: when the set of permanent
+// faults grows, the FM must rebuild its tables around the dead hardware —
+// modeled as a fresh reconfiguration epoch over the current core mask.
+// Transient faults heal on their own and are ignored.
+func (m *Mechanism) OnFaultChange(now int64) {
+	inj := m.net.Faults
+	if inj == nil {
+		return
+	}
+	if v := inj.PermanentVersion(); v != m.faultPermSeen {
+		m.faultPermSeen = v
+		m.OnGatingChange(now, m.pendingGated)
 	}
 }
 
@@ -128,11 +156,19 @@ func (m *Mechanism) applyReconfiguration(now int64) {
 	newParked := m.computeParkedSet(m.pendingGated)
 	active := make([]bool, len(newParked))
 	for i, p := range newParked {
-		active[i] = !p
+		active[i] = !p && !m.routerDead(i)
 	}
-	t, err := routing.BuildUpDownTable(m.net.Mesh, active, m.fmNode)
+	t, err := routing.BuildUpDownTableLinks(m.net.Mesh, active, m.fmNode, m.linkOK())
 	if err != nil {
-		panic("rp: reconfiguration table: " + err.Error())
+		// Table construction can only fail under faults (e.g. the FM node
+		// itself died permanently). Keep the old table — surviving routes
+		// still work and unroutable packets are classified by the fault
+		// filter — instead of bringing the run down.
+		if m.net.Trace != nil {
+			m.net.Trace.Addf(now, nlog.KReconfig, -1, "FM reconfiguration kept old table: %v", err)
+		}
+		m.reconfiguring = false
+		return
 	}
 	// Power-gating transitions for every router changing state.
 	for i := range newParked {
@@ -160,8 +196,9 @@ func (m *Mechanism) computeParkedSet(gated []bool) []bool {
 	parked := make([]bool, n)
 	active := make([]bool, n)
 	for i := 0; i < n; i++ {
-		active[i] = true
+		active[i] = !m.routerDead(i)
 	}
+	linkOK := m.linkOK()
 	// The FM is centralized and sees all pending traffic: a router whose
 	// node still has packets queued toward it must not be parked, or the
 	// packets would become unroutable.
@@ -177,14 +214,35 @@ func (m *Mechanism) computeParkedSet(gated []bool) []bool {
 	}
 	sort.Ints(candidates)
 	for _, c := range candidates {
+		if !active[c] {
+			continue // already permanently dead; not "parked", just gone
+		}
 		active[c] = false
-		if routing.Connected(m.net.Mesh, active) {
+		if routing.ConnectedLinks(m.net.Mesh, active, linkOK) {
 			parked[c] = true
 		} else {
 			active[c] = true
 		}
 	}
 	return parked
+}
+
+// routerDead reports whether router id has failed permanently (always
+// false without an attached fault injector).
+func (m *Mechanism) routerDead(id int) bool {
+	return m.net.Faults != nil && m.net.Faults.RouterPermanentlyDown(id)
+}
+
+// linkOK returns the usable-link predicate for table construction: nil
+// (all links) without faults, otherwise links not permanently dead.
+// Transient faults are deliberately included as usable — they heal, and
+// rebuilding 700-cycle-stall tables around them would thrash.
+func (m *Mechanism) linkOK() func(u int, d topology.Direction) bool {
+	inj := m.net.Faults
+	if inj == nil || !inj.HasPermanent() {
+		return nil
+	}
+	return func(u int, d topology.Direction) bool { return !inj.LinkPermanentlyDown(u, d) }
 }
 
 // CanInject stalls all injections during Phase I (the paper: "the network

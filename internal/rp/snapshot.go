@@ -45,9 +45,9 @@ func (m *Mechanism) RestoreState(s State) error {
 	}
 	active := make([]bool, n)
 	for i, p := range s.Parked {
-		active[i] = !p
+		active[i] = !p && !m.routerDead(i)
 	}
-	t, err := routing.BuildUpDownTable(m.net.Mesh, active, m.fmNode)
+	t, err := routing.BuildUpDownTableLinks(m.net.Mesh, active, m.fmNode, m.linkOK())
 	if err != nil {
 		return fmt.Errorf("rp: rebuilding table from snapshot: %w", err)
 	}
@@ -58,5 +58,9 @@ func (m *Mechanism) RestoreState(s State) error {
 	m.pendingGated = append([]bool(nil), s.PendingGated...)
 	m.reconfigs = s.Reconfigs
 	m.stallStart = s.StallStart
+	// Derived from the (already restored) fault injector, not serialized.
+	if m.net.Faults != nil {
+		m.faultPermSeen = m.net.Faults.PermanentVersion()
+	}
 	return nil
 }

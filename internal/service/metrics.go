@@ -27,6 +27,11 @@ type metrics struct {
 	pointsFailed      atomic.Int64
 	pointsSnapshotted atomic.Int64 // mid-run checkpoints taken for preemption
 
+	// Fault-scenario observability (points whose job carries a fault spec).
+	faultsInjected atomic.Int64 // faults injected across finished points
+	packetsDropped atomic.Int64 // packets classified as lost across finished points
+	trialsViolated atomic.Int64 // fault-scenario points that tripped a correctness oracle
+
 	panics atomic.Int64 // handler panics caught by the recovery middleware
 
 	jobWallMS   stats.Histogram // submit-to-finish latency per job
@@ -54,6 +59,9 @@ func (m *metrics) render(b *strings.Builder, queueDepth, running int, draining b
 	counter("flovd_points_cached_total", "points served from the result cache", m.pointsCached.Load())
 	counter("flovd_points_failed_total", "points that errored or panicked", m.pointsFailed.Load())
 	counter("flovd_points_snapshotted_total", "mid-run point checkpoints taken for preemption", m.pointsSnapshotted.Load())
+	counter("flovd_faults_injected_total", "faults injected across finished fault-scenario points", m.faultsInjected.Load())
+	counter("flovd_packets_dropped_total", "packets classified as lost across finished points", m.packetsDropped.Load())
+	counter("flovd_trials_violated_total", "fault-scenario points that tripped a correctness oracle", m.trialsViolated.Load())
 	counter("flovd_handler_panics_total", "HTTP handler panics recovered", m.panics.Load())
 	if cache != nil {
 		hits, misses, writes := cache.Counters()

@@ -583,15 +583,35 @@ func (s *Server) notePoint(ev sweep.Event) {
 	case sweep.JobDone:
 		s.metrics.pointsDone.Add(1)
 		s.metrics.pointWallMS.Observe(ev.Wall.Milliseconds())
+		s.noteFaults(ev)
 	case sweep.JobCacheHit:
 		s.metrics.pointsCached.Add(1)
+		s.noteFaults(ev)
 	case sweep.JobError:
 		s.metrics.pointsFailed.Add(1)
 		s.metrics.pointWallMS.Observe(ev.Wall.Milliseconds())
+		if ev.Job.Faults != nil {
+			s.metrics.trialsViolated.Add(1)
+		}
 	case sweep.CacheWriteError:
 		s.log("cache write failed for %s: %s", ev.Job.Desc(), ev.Err)
 	case sweep.JobPaused:
 		s.metrics.pointsSnapshotted.Add(1)
+	}
+}
+
+// noteFaults folds a finished point's reliability counters into the
+// server-wide metrics. Fault-free points report zeros for both, so the
+// counters move only when a fault spec was attached and actually fired.
+func (s *Server) noteFaults(ev sweep.Event) {
+	if ev.Result == nil {
+		return
+	}
+	if n := ev.Result.Res.FaultsInjected; n > 0 {
+		s.metrics.faultsInjected.Add(n)
+	}
+	if n := ev.Result.Res.LostPkts; n > 0 {
+		s.metrics.packetsDropped.Add(n)
 	}
 }
 

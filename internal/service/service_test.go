@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"flov/internal/fault"
 	"flov/internal/sweep"
 )
 
@@ -507,6 +508,58 @@ func TestPointPanicIsolation(t *testing.T) {
 	}
 	if pfailed := metricValue(t, ts.URL, "flovd_points_failed_total"); pfailed != 1 {
 		t.Fatalf("flovd_points_failed_total = %d, want 1", pfailed)
+	}
+}
+
+// TestFaultMetrics: a fault-scenario spec submitted through the daemon
+// is observable on /metrics — injected faults and classified drops from
+// a real run, and the violated-trial counter when a fault point errors.
+func TestFaultMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	spec := testSpec(0.02)
+	spec.Faults = &fault.Spec{
+		Seed: 11,
+		// Kill an interior router for good early on and classify stuck
+		// packets quickly so drops land inside the short test run.
+		Schedule:    []fault.Event{{At: 600, Kind: "router", Node: 5}},
+		DropTimeout: 200,
+	}
+	st := decodeStatus(t, postSpec(t, ts.URL+"/v1/sweeps", spec))
+	final := waitDone(t, ts.URL, st.ID)
+	if final.State != StateDone || final.Errors != 0 {
+		t.Fatalf("final = %+v, want done with 0 errors", final)
+	}
+	if got := metricValue(t, ts.URL, "flovd_faults_injected_total"); got == 0 {
+		t.Fatal("flovd_faults_injected_total = 0 after a scheduled fault fired")
+	}
+	if got := metricValue(t, ts.URL, "flovd_packets_dropped_total"); got == 0 {
+		t.Fatal("flovd_packets_dropped_total = 0 after a permanent router kill")
+	}
+	if got := metricValue(t, ts.URL, "flovd_trials_violated_total"); got != 0 {
+		t.Fatalf("flovd_trials_violated_total = %d on a clean run, want 0", got)
+	}
+}
+
+// TestFaultTrialViolatedMetric: a fault-scenario point that errors bumps
+// flovd_trials_violated_total; the same failure on a fault-free point
+// does not.
+func TestFaultTrialViolatedMetric(t *testing.T) {
+	_, ts := newTestServer(t, Config{runPoint: func(j sweep.Job) sweep.Result {
+		return sweep.Result{Job: j, Err: "oracle: flit conservation violated"}
+	}})
+	plain := testSpec(0.02)
+	st := decodeStatus(t, postSpec(t, ts.URL+"/v1/sweeps", plain))
+	waitDone(t, ts.URL, st.ID)
+	if got := metricValue(t, ts.URL, "flovd_trials_violated_total"); got != 0 {
+		t.Fatalf("flovd_trials_violated_total = %d after fault-free error, want 0", got)
+	}
+
+	faulty := testSpec(0.02)
+	faulty.Faults = &fault.Spec{Seed: 3, LinkRate: 1e-4}
+	st = decodeStatus(t, postSpec(t, ts.URL+"/v1/sweeps", faulty))
+	waitDone(t, ts.URL, st.ID)
+	if got := metricValue(t, ts.URL, "flovd_trials_violated_total"); got != 1 {
+		t.Fatalf("flovd_trials_violated_total = %d after fault-scenario error, want 1", got)
 	}
 }
 

@@ -12,7 +12,7 @@ import (
 // bumped whenever any serialized state struct changes shape, so stale
 // snapshots (and warm-start cache entries keyed on it) are rejected
 // instead of silently misread.
-const SchemaVersion = "flov-snap-v1"
+const SchemaVersion = "flov-snap-v2"
 
 // magic identifies a FLOV snapshot container.
 const magic = "FLOVSNAP"

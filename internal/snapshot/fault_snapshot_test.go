@@ -1,0 +1,110 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+
+	"flov/internal/config"
+	"flov/internal/fault"
+)
+
+// faultScenario exercises every injector state class across the snapshot
+// boundary: a permanent router kill (component labels), a transient link
+// fault in flight at the capture point, and rate-driven faults (RNG
+// stream position).
+func faultScenario() fault.Spec {
+	return fault.Spec{
+		Seed:            13,
+		LinkRate:        2e-4,
+		TransientCycles: 400,
+		Schedule: []fault.Event{
+			{At: 200, Kind: "router", Node: 5},
+			{At: 700, Kind: "link", Node: 9, Dir: "E", Transient: 600},
+		},
+		DropTimeout: 300,
+	}
+}
+
+// TestRoundTripWithFaults: snapshot a fault-injection run mid-flight —
+// after a permanent kill, with a transient fault still pending heal —
+// restore into a fresh network with the same spec attached, and finish
+// both. The final results must be byte-identical, fault counters and
+// drop classifications included.
+func TestRoundTripWithFaults(t *testing.T) {
+	for _, mech := range []config.Mechanism{config.Baseline, config.GFLOV} {
+		for _, mid := range []int64{250, 900} {
+			cfg := testConfig()
+			a := buildSynthetic(t, cfg, mech)
+			if err := a.AttachFaults(faultScenario()); err != nil {
+				t.Fatal(err)
+			}
+			a.RunTo(mid)
+			var buf bytes.Buffer
+			if err := Save(&buf, a, nil); err != nil {
+				t.Fatalf("%s mid=%d: save: %v", mech, mid, err)
+			}
+
+			b := buildSynthetic(t, cfg, mech)
+			if err := b.AttachFaults(faultScenario()); err != nil {
+				t.Fatal(err)
+			}
+			if err := Restore(bytes.NewReader(buf.Bytes()), b, nil); err != nil {
+				t.Fatalf("%s mid=%d: restore: %v", mech, mid, err)
+			}
+
+			ra := resultsJSON(t, a.Run())
+			rb := resultsJSON(t, b.Run())
+			if !bytes.Equal(ra, rb) {
+				t.Fatalf("%s snapshot at %d with faults: final results differ\nuninterrupted: %.400s\nrestored:      %.400s",
+					mech, mid, ra, rb)
+			}
+		}
+	}
+}
+
+// TestRestoreFaultSpecMismatch: a fault-run snapshot refuses to restore
+// into a network without faults attached, or with a different spec — the
+// schedule is part of the run's identity.
+func TestRestoreFaultSpecMismatch(t *testing.T) {
+	cfg := testConfig()
+	a := buildSynthetic(t, cfg, config.Baseline)
+	if err := a.AttachFaults(faultScenario()); err != nil {
+		t.Fatal(err)
+	}
+	a.RunTo(400)
+	var buf bytes.Buffer
+	if err := Save(&buf, a, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	plain := buildSynthetic(t, cfg, config.Baseline)
+	if err := Restore(bytes.NewReader(buf.Bytes()), plain, nil); err == nil {
+		t.Fatal("fault-run snapshot restored into a fault-free network")
+	}
+
+	other := buildSynthetic(t, cfg, config.Baseline)
+	spec := faultScenario()
+	spec.LinkRate = 9e-4
+	if err := other.AttachFaults(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := Restore(bytes.NewReader(buf.Bytes()), other, nil); err == nil {
+		t.Fatal("snapshot restored under a different fault spec")
+	}
+
+	// And the reverse: a fault-free snapshot must not restore into a
+	// network that has an injector attached.
+	clean := buildSynthetic(t, cfg, config.Baseline)
+	clean.RunTo(400)
+	buf.Reset()
+	if err := Save(&buf, clean, nil); err != nil {
+		t.Fatal(err)
+	}
+	faulted := buildSynthetic(t, cfg, config.Baseline)
+	if err := faulted.AttachFaults(faultScenario()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Restore(bytes.NewReader(buf.Bytes()), faulted, nil); err == nil {
+		t.Fatal("fault-free snapshot restored into a faulted network")
+	}
+}

@@ -1,0 +1,196 @@
+package stats
+
+import "math"
+
+// Binomial confidence intervals for the reliability harness. Both
+// estimators take k successes out of n trials and a confidence level
+// (e.g. 0.95) and return a two-sided interval [Lo, Hi] on the success
+// probability. Wilson is the cheap default with good coverage even for
+// small n; Clopper-Pearson is the exact (conservative) interval used
+// when a verdict must never overstate confidence.
+
+// Interval is a two-sided confidence interval on a probability.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// WilsonInterval returns the Wilson score interval for k successes in n
+// trials at the given confidence level. n <= 0 returns the vacuous
+// interval [0,1].
+func WilsonInterval(k, n int64, confidence float64) Interval {
+	if n <= 0 {
+		return Interval{0, 1}
+	}
+	z := normalQuantile(0.5 + confidence/2)
+	p := float64(k) / float64(n)
+	nf := float64(n)
+	denom := 1 + z*z/nf
+	center := (p + z*z/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z*z/(4*nf*nf))
+	iv := Interval{Lo: clamp01(center - half), Hi: clamp01(center + half)}
+	// At the edges the bounds are analytically exact (Lo=0 at k=0, Hi=1
+	// at k=n); pin them so float rounding never excludes the point
+	// estimate from its own interval.
+	if k <= 0 {
+		iv.Lo = 0
+	}
+	if k >= n {
+		iv.Hi = 1
+	}
+	return iv
+}
+
+// ClopperPearson returns the exact (Clopper-Pearson) interval for k
+// successes in n trials at the given confidence level. It inverts the
+// binomial CDF via the regularized incomplete beta function; edge cases
+// follow the standard convention Lo=0 when k=0 and Hi=1 when k=n.
+func ClopperPearson(k, n int64, confidence float64) Interval {
+	if n <= 0 {
+		return Interval{0, 1}
+	}
+	alpha := 1 - confidence
+	var iv Interval
+	if k <= 0 {
+		iv.Lo = 0
+	} else {
+		// Lo solves P(X >= k | p) = alpha/2, i.e. I_p(k, n-k+1) = alpha/2.
+		iv.Lo = betaQuantile(alpha/2, float64(k), float64(n-k+1))
+	}
+	if k >= n {
+		iv.Hi = 1
+	} else {
+		// Hi solves P(X <= k | p) = alpha/2, i.e. I_p(k+1, n-k) = 1-alpha/2.
+		iv.Hi = betaQuantile(1-alpha/2, float64(k+1), float64(n-k))
+	}
+	return iv
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// normalQuantile returns the standard normal quantile via the
+// Acklam rational approximation (relative error < 1.15e-9), refined with
+// one Halley step against math.Erfc for full float64 accuracy.
+func normalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Acklam coefficients.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow = 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// Halley refinement: e = Phi(x) - p.
+	e := 0.5*math.Erfc(-x/math.Sqrt2) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	return x - u/(1+x*u/2)
+}
+
+// betaQuantile inverts the regularized incomplete beta function: returns
+// x with I_x(a, b) = p, by bisection (60 iterations gives ~1e-18 interval
+// width, ample for verdict tables).
+func betaQuantile(p, a, b float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if regIncBeta(a, b, mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// regIncBeta computes the regularized incomplete beta function I_x(a,b)
+// by the standard continued-fraction expansion (Lentz's method).
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	// Prefactor x^a (1-x)^b / (a B(a,b)), computed in log space.
+	lbeta := lgamma(a) + lgamma(b) - lgamma(a+b)
+	front := math.Exp(a*math.Log(x) + b*math.Log(1-x) - lbeta)
+	// Use the symmetry relation to keep the continued fraction convergent
+	// (strict inequality: at the fixed point x == (a+1)/(a+b+2) the direct
+	// expansion converges fine and recursing would loop forever).
+	if x > (a+1)/(a+b+2) {
+		return 1 - regIncBeta(b, a, 1-x)
+	}
+	const tiny = 1e-300
+	const eps = 1e-15
+	// Lentz's algorithm for the continued fraction.
+	f, c, d := 1.0, 1.0, 0.0
+	for m := 0; m <= 300; m++ {
+		var numer float64
+		if m == 0 {
+			numer = 1
+		} else if m%2 == 0 {
+			k := float64(m / 2)
+			numer = k * (b - k) * x / ((a + 2*k - 1) * (a + 2*k))
+		} else {
+			k := float64((m - 1) / 2)
+			numer = -(a + k) * (a + b + k) * x / ((a + 2*k) * (a + 2*k + 1))
+		}
+		d = 1 + numer*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		d = 1 / d
+		c = 1 + numer/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		cd := c * d
+		f *= cd
+		if math.Abs(1-cd) < eps {
+			return front * (f - 1) / a
+		}
+	}
+	return front * (f - 1) / a
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWilsonEdgeCases(t *testing.T) {
+	cases := []struct {
+		k, n int64
+	}{
+		{0, 10}, {10, 10}, {0, 1}, {1, 1}, {5, 10}, {1, 2}, {99, 100},
+	}
+	for _, c := range cases {
+		iv := WilsonInterval(c.k, c.n, 0.95)
+		if iv.Lo < 0 || iv.Hi > 1 || iv.Lo > iv.Hi {
+			t.Fatalf("Wilson(%d/%d) = %+v out of order", c.k, c.n, iv)
+		}
+		p := float64(c.k) / float64(c.n)
+		if p < iv.Lo-1e-12 || p > iv.Hi+1e-12 {
+			t.Fatalf("Wilson(%d/%d) = %+v excludes point estimate %v", c.k, c.n, iv, p)
+		}
+	}
+	// 0/N must not degenerate to [0,0]; N/N must not degenerate to [1,1].
+	if iv := WilsonInterval(0, 10, 0.95); iv.Hi <= 0 {
+		t.Fatalf("Wilson(0/10).Hi = %v, want > 0", iv.Hi)
+	}
+	if iv := WilsonInterval(10, 10, 0.95); iv.Lo >= 1 {
+		t.Fatalf("Wilson(10/10).Lo = %v, want < 1", iv.Lo)
+	}
+	// N=1 stays sane.
+	if iv := WilsonInterval(1, 1, 0.95); iv.Lo <= 0 || iv.Hi != 1 {
+		t.Fatalf("Wilson(1/1) = %+v", iv)
+	}
+	if iv := WilsonInterval(0, 0, 0.95); iv.Lo != 0 || iv.Hi != 1 {
+		t.Fatalf("Wilson(0/0) = %+v, want [0,1]", iv)
+	}
+}
+
+func TestWilsonKnownValue(t *testing.T) {
+	// Wilson 95% for 8/10: center (p + z^2/2n)/(1+z^2/n) with z=1.959964;
+	// the standard published value is roughly [0.490, 0.943].
+	iv := WilsonInterval(8, 10, 0.95)
+	if math.Abs(iv.Lo-0.4901625) > 2e-3 || math.Abs(iv.Hi-0.9433178) > 2e-3 {
+		t.Fatalf("Wilson(8/10, 95%%) = %+v, want ~[0.490, 0.943]", iv)
+	}
+}
+
+func TestClopperPearsonEdgeCases(t *testing.T) {
+	// k=0: Lo must be exactly 0, Hi = 1-(alpha/2)^(1/n).
+	iv := ClopperPearson(0, 10, 0.95)
+	if iv.Lo != 0 {
+		t.Fatalf("CP(0/10).Lo = %v, want 0", iv.Lo)
+	}
+	wantHi := 1 - math.Pow(0.025, 1.0/10)
+	if math.Abs(iv.Hi-wantHi) > 1e-9 {
+		t.Fatalf("CP(0/10).Hi = %v, want %v", iv.Hi, wantHi)
+	}
+	// k=n: Hi must be exactly 1, Lo = (alpha/2)^(1/n).
+	iv = ClopperPearson(10, 10, 0.95)
+	if iv.Hi != 1 {
+		t.Fatalf("CP(10/10).Hi = %v, want 1", iv.Hi)
+	}
+	wantLo := math.Pow(0.025, 1.0/10)
+	if math.Abs(iv.Lo-wantLo) > 1e-9 {
+		t.Fatalf("CP(10/10).Lo = %v, want %v", iv.Lo, wantLo)
+	}
+	// N=1 single success: [0.025, 1].
+	iv = ClopperPearson(1, 1, 0.95)
+	if iv.Hi != 1 || math.Abs(iv.Lo-0.025) > 1e-9 {
+		t.Fatalf("CP(1/1) = %+v, want [0.025, 1]", iv)
+	}
+	// N=1 single failure: [0, 0.975].
+	iv = ClopperPearson(0, 1, 0.95)
+	if iv.Lo != 0 || math.Abs(iv.Hi-0.975) > 1e-9 {
+		t.Fatalf("CP(0/1) = %+v, want [0, 0.975]", iv)
+	}
+	if iv := ClopperPearson(0, 0, 0.95); iv.Lo != 0 || iv.Hi != 1 {
+		t.Fatalf("CP(0/0) = %+v, want [0,1]", iv)
+	}
+}
+
+func TestClopperPearsonKnownValue(t *testing.T) {
+	// Published exact 95% interval for 8/10: [0.44390, 0.97479].
+	iv := ClopperPearson(8, 10, 0.95)
+	if math.Abs(iv.Lo-0.44390) > 1e-4 || math.Abs(iv.Hi-0.97479) > 1e-4 {
+		t.Fatalf("CP(8/10, 95%%) = %+v, want ~[0.44390, 0.97479]", iv)
+	}
+}
+
+func TestClopperPearsonInversion(t *testing.T) {
+	// The bounds are defined by tail-probability equations; check the
+	// quantile inversion satisfies them directly:
+	//   I_Lo(k, n-k+1) = alpha/2 and I_Hi(k+1, n-k) = 1 - alpha/2.
+	const alpha = 0.05
+	for _, n := range []int64{1, 2, 5, 10, 50, 200} {
+		for k := int64(0); k <= n; k += maxI64(1, n/5) {
+			iv := ClopperPearson(k, n, 1-alpha)
+			if iv.Lo > iv.Hi || iv.Lo < 0 || iv.Hi > 1 {
+				t.Fatalf("CP(%d/%d) = %+v out of order", k, n, iv)
+			}
+			p := float64(k) / float64(n)
+			if p < iv.Lo-1e-9 || p > iv.Hi+1e-9 {
+				t.Fatalf("CP(%d/%d) = %+v excludes point estimate %v", k, n, iv, p)
+			}
+			if k > 0 {
+				got := regIncBeta(float64(k), float64(n-k+1), iv.Lo)
+				if math.Abs(got-alpha/2) > 1e-9 {
+					t.Fatalf("CP(%d/%d).Lo inversion: I_Lo = %v, want %v", k, n, got, alpha/2)
+				}
+			}
+			if k < n {
+				got := regIncBeta(float64(k+1), float64(n-k), iv.Hi)
+				if math.Abs(got-(1-alpha/2)) > 1e-9 {
+					t.Fatalf("CP(%d/%d).Hi inversion: I_Hi = %v, want %v", k, n, got, 1-alpha/2)
+				}
+			}
+		}
+	}
+}
+
+func TestRegIncBetaSanity(t *testing.T) {
+	// I_x(1,1) = x (uniform distribution).
+	for _, x := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := regIncBeta(1, 1, x); math.Abs(got-x) > 1e-12 {
+			t.Fatalf("I_%v(1,1) = %v, want %v", x, got, x)
+		}
+	}
+	// Symmetry: I_x(a,b) = 1 - I_{1-x}(b,a).
+	for _, x := range []float64{0.1, 0.3, 0.6, 0.9} {
+		lhs := regIncBeta(3, 7, x)
+		rhs := 1 - regIncBeta(7, 3, 1-x)
+		if math.Abs(lhs-rhs) > 1e-12 {
+			t.Fatalf("symmetry broken at x=%v: %v vs %v", x, lhs, rhs)
+		}
+	}
+	// Monotone in x.
+	prev := -1.0
+	for x := 0.0; x <= 1.0; x += 0.05 {
+		v := regIncBeta(2.5, 4.5, x)
+		if v < prev-1e-15 {
+			t.Fatalf("I_x(2.5,4.5) not monotone at x=%v", x)
+		}
+		prev = v
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	// Standard z values.
+	cases := map[float64]float64{
+		0.975: 1.959963985,
+		0.5:   0,
+		0.025: -1.959963985,
+		0.995: 2.575829304,
+	}
+	for p, want := range cases {
+		if got := normalQuantile(p); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("normalQuantile(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

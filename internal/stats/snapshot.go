@@ -17,6 +17,9 @@ type CollectorState struct {
 	Histo         []int64
 	EjectedFlits  int64
 	InjectedFlits int64
+	CreatedPkts   int64 `json:",omitempty"`
+	LostPkts      int64 `json:",omitempty"`
+	DroppedFlits  int64 `json:",omitempty"`
 	Bins          []TimeBinState
 }
 
@@ -38,6 +41,7 @@ func (c *Collector) CaptureState() CollectorState {
 		MaxLatency:   c.maxLatency,
 		Histo:        append([]int64(nil), c.histo...),
 		EjectedFlits: c.ejectedFlits, InjectedFlits: c.injectedFlits,
+		CreatedPkts: c.createdPkts, LostPkts: c.lostPkts, DroppedFlits: c.droppedFlits,
 	}
 	for _, b := range c.bins {
 		s.Bins = append(s.Bins, TimeBinState{Start: b.Start, Count: b.Count, SumLat: b.sumLat})
@@ -60,6 +64,9 @@ func (c *Collector) RestoreState(s CollectorState) {
 	c.histo = append(c.histo[:0], s.Histo...)
 	c.ejectedFlits = s.EjectedFlits
 	c.injectedFlits = s.InjectedFlits
+	c.createdPkts = s.CreatedPkts
+	c.lostPkts = s.LostPkts
+	c.droppedFlits = s.DroppedFlits
 	c.bins = c.bins[:0]
 	for _, b := range s.Bins {
 		c.bins = append(c.bins, TimeBin{Start: b.Start, Count: b.Count, sumLat: b.SumLat})

@@ -81,6 +81,11 @@ type Collector struct {
 	ejectedFlits  int64
 	injectedFlits int64
 
+	// Reliability accounting (fault-injection runs; all zero otherwise).
+	createdPkts  int64 // packets created in the measurement window
+	lostPkts     int64 // windowed packets dropped as classified losses
+	droppedFlits int64 // all-time flits discarded by drops (conservation)
+
 	bins []TimeBin
 }
 
@@ -101,8 +106,39 @@ func (c *Collector) NoteInjectedFlits(n int) { c.injectedFlits += int64(n) }
 // NoteEjectedFlits counts flits leaving the network.
 func (c *Collector) NoteEjectedFlits(n int) { c.ejectedFlits += int64(n) }
 
-// InFlightFlits returns flits injected but not yet ejected.
-func (c *Collector) InFlightFlits() int64 { return c.injectedFlits - c.ejectedFlits }
+// NotePacketCreated counts a packet entering the system (source queue
+// included) at the given cycle; warmup packets are excluded like every
+// other windowed aggregate. Delivery probability is Count()/Created().
+func (c *Collector) NotePacketCreated(createdAt int64) {
+	if createdAt >= c.MeasureStart {
+		c.createdPkts++
+	}
+}
+
+// NotePacketLost records a classified loss: a packet the fault subsystem
+// dropped because its destination is unreachable (or it was wedged past
+// the drop timeout). flits is how many already-injected flits were
+// discarded with it — they leave the in-flight count so flit conservation
+// holds; packets dropped straight from a source queue pass 0.
+func (c *Collector) NotePacketLost(p *noc.Packet, flits int) {
+	c.droppedFlits += int64(flits)
+	if p.CreatedAt >= c.MeasureStart {
+		c.lostPkts++
+	}
+}
+
+// InFlightFlits returns flits injected but not yet ejected or dropped.
+func (c *Collector) InFlightFlits() int64 { return c.injectedFlits - c.ejectedFlits - c.droppedFlits }
+
+// Created returns measured (post-warmup) packets created.
+func (c *Collector) Created() int64 { return c.createdPkts }
+
+// Lost returns measured (post-warmup) packets dropped as classified
+// losses.
+func (c *Collector) Lost() int64 { return c.lostPkts }
+
+// DroppedFlits returns all-time flits discarded by fault drops.
+func (c *Collector) DroppedFlits() int64 { return c.droppedFlits }
 
 // EjectedTotal returns all-time ejected flits (the caller snapshots this
 // at the warmup boundary to compute windowed throughput).

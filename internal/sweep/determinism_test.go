@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"flov/internal/config"
+	"flov/internal/fault"
 	"flov/internal/traffic"
 )
 
@@ -35,6 +36,27 @@ func determinismJobs() []Job {
 			Mechanism: m,
 		})
 	}
+	// One fault-injection point: the fault schedule (rate-driven draws
+	// from the dedicated stream plus explicit permanent and transient
+	// events) is part of the byte-identity contract too.
+	jobs = append(jobs, Job{
+		Config:    cfg,
+		Pattern:   traffic.Uniform,
+		Rate:      0.05,
+		Frac:      0.5,
+		MaskSeed:  11,
+		Mechanism: config.GFLOV,
+		Faults: &fault.Spec{
+			Seed:            17,
+			LinkRate:        2e-4,
+			TransientCycles: 60,
+			Schedule: []fault.Event{
+				{At: 500, Kind: "router", Node: 5},
+				{At: 900, Kind: "link", Node: 9, Dir: "E", Transient: 300},
+			},
+			DropTimeout: 300,
+		},
+	})
 	return jobs
 }
 

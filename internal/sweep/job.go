@@ -24,6 +24,7 @@ import (
 
 	"flov/internal/config"
 	"flov/internal/core"
+	"flov/internal/fault"
 	"flov/internal/network"
 	"flov/internal/rp"
 	"flov/internal/snapshot"
@@ -91,6 +92,10 @@ type Job struct {
 	// Mechanism under test (both kinds).
 	Mechanism config.Mechanism
 
+	// Faults optionally attaches the fault-injection subsystem to a
+	// synthetic run (reliability harness points). PARSEC jobs reject it.
+	Faults *fault.Spec
+
 	// PARSEC workload point.
 	Profile   trace.Profile // benchmark profile (zero Name when synthetic)
 	Seed      uint64        // driver seed for the closed-loop workload
@@ -110,6 +115,7 @@ type jobJSON struct {
 	Protect   []int         `json:"protect,omitempty"`
 	Hotspots  []int         `json:"hotspots,omitempty"`
 	Mechanism string        `json:"mechanism"`
+	Faults    *fault.Spec   `json:"faults,omitempty"`
 	Profile   trace.Profile `json:"profile,omitempty"`
 	Seed      uint64        `json:"seed,omitempty"`
 	MaxCycles int64         `json:"max_cycles,omitempty"`
@@ -127,6 +133,7 @@ func (j Job) MarshalJSON() ([]byte, error) {
 		Protect:   j.Protect,
 		Hotspots:  j.Hotspots,
 		Mechanism: j.Mechanism.String(),
+		Faults:    j.Faults,
 		Profile:   j.Profile,
 		Seed:      j.Seed,
 		MaxCycles: j.MaxCycles,
@@ -163,6 +170,7 @@ func (j *Job) UnmarshalJSON(data []byte) error {
 		Protect:   w.Protect,
 		Hotspots:  w.Hotspots,
 		Mechanism: mech,
+		Faults:    w.Faults,
 		Profile:   w.Profile,
 		Seed:      w.Seed,
 		MaxCycles: w.MaxCycles,
@@ -314,6 +322,9 @@ func (j Job) runSynthetic() (network.Results, error) {
 // runPARSEC mirrors flov.RunProfile: closed-loop driver over the job's
 // profile, bounded by MaxCycles.
 func (j Job) runPARSEC() (trace.Outcome, error) {
+	if j.Faults != nil {
+		return trace.Outcome{}, fmt.Errorf("sweep: fault injection is only supported for synthetic jobs")
+	}
 	mech, err := NewMechanism(j.Mechanism)
 	if err != nil {
 		return trace.Outcome{}, err

@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"flov/internal/config"
+	"flov/internal/fault"
 	"flov/internal/trace"
 	"flov/internal/traffic"
 )
@@ -38,6 +39,11 @@ type Spec struct {
 	// run share one cache identity.
 	Seed uint64 `json:"seed,omitempty"`
 
+	// Faults optionally attaches one fault-injection scenario to every
+	// synthetic point (fault-scenario jobs submitted through flovd);
+	// PARSEC specs reject it.
+	Faults *fault.Spec `json:"faults,omitempty"`
+
 	// MaxCycles bounds PARSEC runs (0 = default bound).
 	MaxCycles int64 `json:"max_cycles,omitempty"`
 }
@@ -62,6 +68,9 @@ func (s Spec) Jobs() ([]Job, error) {
 		return nil, err
 	}
 	if len(s.Benchmarks) > 0 {
+		if s.Faults != nil {
+			return nil, fmt.Errorf("sweep: fault injection is only supported for synthetic specs")
+		}
 		return s.parsecJobs(mechs)
 	}
 	return s.syntheticJobs(mechs)
@@ -136,6 +145,7 @@ func (s Spec) syntheticJobs(mechs []config.Mechanism) ([]Job, error) {
 						// Same derivation as flov.Build, so flovsim and
 						// flovsweep agree on a point's identity.
 						MaskSeed: cfg.Seed ^ 0xabcd,
+						Faults:   s.Faults,
 					})
 				}
 			}

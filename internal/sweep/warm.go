@@ -57,7 +57,26 @@ func (j Job) buildSynthetic() (*network.Network, error) {
 	if err != nil {
 		return nil, err
 	}
-	return network.New(j.Config, mech, gating.Static(mask), gen, j.Rate)
+	n, err := network.New(j.Config, mech, gating.Static(mask), gen, j.Rate)
+	if err != nil {
+		return nil, err
+	}
+	if j.Faults != nil {
+		if err := n.AttachFaults(*j.Faults); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// BuildSynthetic assembles (but does not run) the network for a
+// synthetic job — the reliability harness uses it to replay a failing
+// trial under external control (checkpoints, tracing).
+func (j Job) BuildSynthetic() (*network.Network, error) {
+	if j.Kind != Synthetic {
+		return nil, fmt.Errorf("sweep: BuildSynthetic on %v job", j.Kind)
+	}
+	return j.buildSynthetic()
 }
 
 // RunWarm executes a synthetic job with warm-start forking: the first
