@@ -16,7 +16,12 @@ import (
 
 	"flov"
 	"flov/internal/config"
+	"flov/internal/core"
 	"flov/internal/experiments"
+	"flov/internal/gating"
+	"flov/internal/network"
+	"flov/internal/sim"
+	"flov/internal/topology"
 	"flov/internal/traffic"
 )
 
@@ -221,8 +226,35 @@ func benchSweepJobs(b *testing.B) []flov.SweepJob {
 	return jobs
 }
 
+// BenchmarkStep measures the bare cycle kernel: one warmed-up gFLOV
+// network, one Step call per iteration, nothing else. allocs/op here is
+// the number the hotalloc analyzer polices statically and the committed
+// BENCH_sweep.json baseline gates in CI.
+func BenchmarkStep(b *testing.B) {
+	cfg := flov.Default()
+	mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mask := gating.FractionGated(mesh, 0.5, nil, sim.NewRNG(42))
+	gen := traffic.NewGenerator(traffic.Uniform, mesh, nil)
+	n, err := network.New(cfg, core.NewGFLOV(), gating.Static(mask), gen, 0.02)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2_000; i++ { // reach steady state: queues and scratch warm
+		n.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+	}
+}
+
 func benchSweep(b *testing.B, workers int) {
 	jobs := benchSweepJobs(b)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		results, stats, err := flov.RunSweep(context.Background(), jobs,
 			flov.SweepOptions{Workers: workers})

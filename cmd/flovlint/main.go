@@ -3,10 +3,18 @@
 // in simulation packages, no map-iteration order leaking into results,
 // no float == comparisons, no copied locks, no silently discarded
 // errors, exhaustive enum switches, lock discipline in the serving
-// layer, and — module-wide, over the static call graph — a proof that
-// the simulation entry points never transitively reach a wall-clock,
-// math/rand, environment, or map-order source. See internal/analysis
-// for the rules and the //flovlint:allow suppression syntax.
+// layer, and — module-wide, over the static call graph — three proofs:
+// that the simulation entry points never transitively reach a
+// wall-clock, math/rand, environment, or map-order source (reach);
+// that every struct field reachable from the snapshot roots is
+// round-tripped by CaptureState/RestoreState or carries a
+// //flovsnap:skip <reason> exemption (statecov); and that the hot
+// simulation paths (network.Step, the router pipeline, the sim.Delay
+// operations) perform no steady-state heap allocation — make/new,
+// growing append, interface boxing, fmt calls, escaping closures —
+// reported with the full call chain from the root (hotalloc). See
+// internal/analysis for the rules and the //flovlint:allow
+// suppression syntax.
 //
 // Usage:
 //
@@ -48,6 +56,7 @@ func main() {
 	baselinePath := flag.String("baseline", "", "baseline file (default: "+defaultBaselineName+" at the module root)")
 	writeBaseline := flag.Bool("write-baseline", false, "rewrite the baseline to acknowledge all current findings")
 	rootsFlag := flag.String("roots", "", "comma-separated reach entry points, pkg.Func or pkg.Recv.Func (default: the built-in simulator roots)")
+	hotRootsFlag := flag.String("hotroots", "", "comma-separated hotalloc entry points, same syntax as -roots (default: the built-in hot-path roots)")
 	flag.Parse()
 
 	if *list {
@@ -109,6 +118,15 @@ func main() {
 					fatal(err)
 				}
 				module.Roots = append(module.Roots, r)
+			}
+		}
+		if *hotRootsFlag != "" {
+			for _, spec := range strings.Split(*hotRootsFlag, ",") {
+				r, err := analysis.ParseRoot(strings.TrimSpace(spec))
+				if err != nil {
+					fatal(err)
+				}
+				module.HotRoots = append(module.HotRoots, r)
 			}
 		}
 		diags = append(diags, analysis.RunModule(module, modAnalyzers)...)

@@ -73,6 +73,9 @@ func wantFindings(t *testing.T, dir string) map[finding]int {
 	for _, a := range Analyzers() {
 		rules[a.Name] = true
 	}
+	for _, a := range ModuleAnalyzers() {
+		rules[a.Name] = true
+	}
 	want := make(map[finding]int)
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {

@@ -1,0 +1,171 @@
+package benchgate
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `
+goos: linux
+goarch: amd64
+pkg: flov
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkStep 	    2000	     16110 ns/op	      55 B/op	       1 allocs/op
+BenchmarkSweepSequential-8   	       2	 600103562 ns/op	        13.09 Mcyc/s	 8160952 B/op	   95690 allocs/op
+BenchmarkSweepParallel-8     	       3	 400918200 ns/op	        19.33 Mcyc/s	 8163229 B/op	   95712 allocs/op
+BenchmarkTable1Config-8      	  150000	      8012 ns/op
+PASS
+ok  	flov	4.523s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := ParseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("want 4 benchmarks, got %d: %v", len(got), got)
+	}
+	step := got["BenchmarkStep"]
+	if step.NsPerOp != 16110 || step.BytesPerOp != 55 || step.AllocsPerOp != 1 || !step.AllocsSet {
+		t.Errorf("BenchmarkStep parsed wrong: %+v", step)
+	}
+	// The -8 GOMAXPROCS suffix is stripped; the custom Mcyc/s metric is
+	// skipped without derailing the B/op and allocs/op columns after it.
+	seq := got["BenchmarkSweepSequential"]
+	if seq.AllocsPerOp != 95690 || seq.BytesPerOp != 8160952 {
+		t.Errorf("suffix/custom-metric handling broke: %+v", seq)
+	}
+	// No -benchmem on Table1Config: ns/op only, AllocsSet false.
+	if cfg := got["BenchmarkTable1Config"]; cfg.AllocsSet || cfg.NsPerOp != 8012 {
+		t.Errorf("benchmem-less line parsed wrong: %+v", cfg)
+	}
+}
+
+// base returns a two-benchmark baseline: a zero-alloc kernel and an
+// allocating sweep.
+func base() *Baseline {
+	return &Baseline{Benchmarks: map[string]Result{
+		"BenchmarkStep":  {NsPerOp: 16000, AllocsPerOp: 1, AllocsSet: true},
+		"BenchmarkSweep": {NsPerOp: 1e8, AllocsPerOp: 100000, AllocsSet: true},
+	}}
+}
+
+func TestCompareCatchesAllocRegression(t *testing.T) {
+	current := map[string]Result{
+		// +3 allocs/op on a 1-alloc baseline: past ratio 1.10 + slack 2.
+		"BenchmarkStep":  {NsPerOp: 16500, AllocsPerOp: 4, AllocsSet: true},
+		"BenchmarkSweep": {NsPerOp: 1.2e8, AllocsPerOp: 100100, AllocsSet: true},
+	}
+	deltas, missing := Compare(base(), current, DefaultLimits())
+	if len(missing) != 0 {
+		t.Fatalf("nothing should be missing: %v", missing)
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("want 2 deltas, got %d", len(deltas))
+	}
+	var step, sweep *Delta
+	for i := range deltas {
+		switch deltas[i].Name {
+		case "BenchmarkStep":
+			step = &deltas[i]
+		case "BenchmarkSweep":
+			sweep = &deltas[i]
+		}
+	}
+	if !step.Regressed() || !strings.Contains(step.Verdicts[0], "allocs/op regressed") {
+		t.Errorf("1 -> 4 allocs/op must regress, got %+v", step.Verdicts)
+	}
+	// 100000 -> 100100 is within the 10% ratio; 1.2x ns/op is within 4x.
+	if sweep.Regressed() {
+		t.Errorf("sweep within headroom should pass, got %+v", sweep.Verdicts)
+	}
+}
+
+func TestCompareCatchesTimeRegression(t *testing.T) {
+	current := map[string]Result{
+		"BenchmarkStep":  {NsPerOp: 16000 * 5, AllocsPerOp: 1, AllocsSet: true},
+		"BenchmarkSweep": {NsPerOp: 1e8, AllocsPerOp: 100000, AllocsSet: true},
+	}
+	deltas, _ := Compare(base(), current, DefaultLimits())
+	for _, d := range deltas {
+		if d.Name == "BenchmarkStep" {
+			if !d.Regressed() || !strings.Contains(d.Verdicts[0], "ns/op regressed") {
+				t.Fatalf("5x ns/op must regress past the 4x limit, got %+v", d.Verdicts)
+			}
+			return
+		}
+	}
+	t.Fatal("BenchmarkStep delta missing")
+}
+
+func TestCompareImprovementAndMissing(t *testing.T) {
+	current := map[string]Result{
+		// Faster and leaner: never a failure.
+		"BenchmarkStep": {NsPerOp: 9000, AllocsPerOp: 0, AllocsSet: true},
+		// A benchmark not in the baseline is ignored.
+		"BenchmarkNew": {NsPerOp: 5, AllocsPerOp: 0, AllocsSet: true},
+	}
+	deltas, missing := Compare(base(), current, DefaultLimits())
+	for _, d := range deltas {
+		if d.Regressed() {
+			t.Errorf("improvement flagged as regression: %+v", d)
+		}
+	}
+	if len(missing) != 1 || missing[0] != "BenchmarkSweep" {
+		t.Errorf("want BenchmarkSweep reported missing, got %v", missing)
+	}
+}
+
+func TestCompareDemandsBenchmem(t *testing.T) {
+	current := map[string]Result{
+		"BenchmarkStep":  {NsPerOp: 16000},
+		"BenchmarkSweep": {NsPerOp: 1e8},
+	}
+	deltas, _ := Compare(base(), current, DefaultLimits())
+	for _, d := range deltas {
+		if !d.Regressed() || !strings.Contains(d.Verdicts[0], "-benchmem") {
+			t.Errorf("baselined allocs with no current allocs must fail, got %+v", d.Verdicts)
+		}
+	}
+}
+
+func TestBaselineRoundTripAndReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_sweep.json")
+	want := base()
+	want.Note = "recorded on CI runner X"
+	if err := Write(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Note != want.Note || len(got.Benchmarks) != 2 {
+		t.Fatalf("round trip mangled baseline: %+v", got)
+	}
+	if got.Benchmarks["BenchmarkStep"] != want.Benchmarks["BenchmarkStep"] {
+		t.Errorf("result mangled: %+v", got.Benchmarks["BenchmarkStep"])
+	}
+
+	deltas, missing := Compare(got, map[string]Result{
+		"BenchmarkStep": {NsPerOp: 16000, AllocsPerOp: 10, AllocsSet: true},
+	}, DefaultLimits())
+	out := Report(deltas, missing)
+	for _, want := range []string{"REGRESSED", "allocs/op regressed (1 -> 10", "BenchmarkSweep", "MISSING"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := Write(path, base()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing baseline should error (the gate must not silently pass)")
+	}
+}

@@ -43,6 +43,7 @@ type CallGraph struct {
 type FuncNode struct {
 	Fn      *types.Func
 	Pkg     *Package
+	Decl    *ast.FuncDecl // the declaration, for analyzers that scan bodies
 	Callees []CallEdge
 	Sources []SourceUse
 }
@@ -97,7 +98,7 @@ func BuildCallGraph(m *Module) *CallGraph {
 				if !ok {
 					continue
 				}
-				node := &FuncNode{Fn: fn, Pkg: pkg}
+				node := &FuncNode{Fn: fn, Pkg: pkg, Decl: fd}
 				b.graph.nodes[fn] = node
 				// Packages are sorted and files/decls follow source
 				// order, so insertion order is already deterministic.
@@ -301,9 +302,14 @@ func (b *graphBuilder) implementers(iface *types.Interface, m *types.Func) []*ty
 }
 
 // addEdge links caller -> callee when the callee is a module function
-// with a body in the graph.
+// with a body in the graph. Methods of instantiated generic types (e.g.
+// sim.Delay[*noc.Flit].Push) are distinct objects from the declaration
+// the graph indexed, so resolution goes through Origin.
 func (b *graphBuilder) addEdge(caller *FuncNode, callee *types.Func, pos token.Pos, via string) {
 	target, ok := b.graph.nodes[callee]
+	if !ok {
+		target, ok = b.graph.nodes[callee.Origin()]
+	}
 	if !ok || target == caller {
 		return
 	}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadHotpathModule mounts the hotalloc fixture and roots it at the
+// fixture's Sim.Step.
+func loadHotpathModule(t *testing.T) *Module {
+	t.Helper()
+	const path = "flov/internal/hotfix"
+	loader := newDirLoader(t, map[string]string{path: "hotpath"})
+	if _, err := loader.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	m := NewModule(loader.ModulePath, loader.Fset, loader.Packages())
+	m.HotRoots = []RootSpec{{Pkg: path, Recv: "Sim", Func: "Step"}}
+	return m
+}
+
+// TestHotAllocFixture checks hotalloc against the marked fixture: every
+// allocation form is flagged, and the amortized appends, non-escaping
+// callbacks, pointer-shaped boxes, cold regions, suppressed sites, and
+// unreachable functions stay silent.
+func TestHotAllocFixture(t *testing.T) {
+	m := loadHotpathModule(t)
+
+	got := make(map[finding]int)
+	for _, d := range RunModule(m, []*ModuleAnalyzer{HotAllocAnalyzer}) {
+		got[finding{filepath.Base(d.Pos.Filename), d.Pos.Line, d.Rule}]++
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "hotpath"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantFindings(t, dir)
+	for f, n := range want {
+		if got[f] != n {
+			t.Errorf("%s:%d: want %d %s finding(s), got %d", f.file, f.line, n, f.rule, got[f])
+		}
+	}
+	for f, n := range got {
+		if want[f] == 0 {
+			t.Errorf("%s:%d: unexpected %s finding (x%d)", f.file, f.line, f.rule, n)
+		}
+	}
+}
+
+// TestHotAllocChain pins the full call chain on a finding two hops below
+// the root: the chain is what turns "there is an allocation" into "here
+// is the hot path that reaches it".
+func TestHotAllocChain(t *testing.T) {
+	m := loadHotpathModule(t)
+	diags := RunModule(m, []*ModuleAnalyzer{HotAllocAnalyzer})
+
+	const wantChain = "hotfix.(*Sim).Step -> hotfix.helperChain -> hotfix.(*Sim).deep"
+	for _, d := range diags {
+		if strings.Contains(d.Msg, wantChain) {
+			if !strings.Contains(d.Msg, "interface boxing of int64") {
+				t.Errorf("chained finding should be the deep boxing site: %s", d.Msg)
+			}
+			return
+		}
+	}
+	t.Errorf("no hotalloc finding carries chain %q; got %v", wantChain, diags)
+}
+
+// TestHotAllocUnresolvedRoot checks that a stale hot root over a loaded
+// package fails loudly instead of silently proving nothing.
+func TestHotAllocUnresolvedRoot(t *testing.T) {
+	m := loadHotpathModule(t)
+	m.HotRoots = []RootSpec{{Pkg: "flov/internal/hotfix", Recv: "Sim", Func: "Gone"}}
+	diags := RunModule(m, []*ModuleAnalyzer{HotAllocAnalyzer})
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "not found") {
+		t.Fatalf("want one not-found diagnostic, got %v", diags)
+	}
+}
+
+// TestDefaultHotAllocRootsResolve loads the real simulator packages and
+// checks every built-in hot root still names a live function — the guard
+// against the root list rotting as the code moves.
+func TestDefaultHotAllocRootsResolve(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range DefaultHotAllocRoots() {
+		if _, err := loader.Load(spec.Pkg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := NewModule(loader.ModulePath, loader.Fset, loader.Packages())
+	g := m.Graph()
+	for _, spec := range DefaultHotAllocRoots() {
+		if findRoot(g, spec) == nil {
+			t.Errorf("default hot root %s does not resolve", spec)
+		}
+	}
+}

@@ -20,6 +20,9 @@ type Module struct {
 	// Roots are the reach entry points. cmd/flovlint fills in
 	// DefaultReachRoots; tests substitute fixture entry points.
 	Roots []RootSpec
+	// HotRoots are the hotalloc entry points, defaulting to
+	// DefaultHotAllocRoots when nil.
+	HotRoots []RootSpec
 
 	graph *CallGraph // built lazily, shared across module analyzers
 }
@@ -65,7 +68,7 @@ func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
 
 // ModuleAnalyzers returns the module-wide flovlint analyzer set.
 func ModuleAnalyzers() []*ModuleAnalyzer {
-	return []*ModuleAnalyzer{ReachAnalyzer}
+	return []*ModuleAnalyzer{ReachAnalyzer, StatecovAnalyzer, HotAllocAnalyzer}
 }
 
 // RunModule runs the given module analyzers over the loaded module and

@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// newRuleDiags produces real statecov and hotalloc findings from the
+// fixtures, so the reporting round-trips below exercise the actual
+// rule names, file paths, and message shapes, not synthetic stand-ins.
+func newRuleDiags(t *testing.T) ([]Diagnostic, string) {
+	t.Helper()
+	diags := RunModule(loadSnapcovModule(t), []*ModuleAnalyzer{StatecovAnalyzer})
+	diags = append(diags, RunModule(loadHotpathModule(t), []*ModuleAnalyzer{HotAllocAnalyzer})...)
+	byRule := map[string]int{}
+	for _, d := range diags {
+		byRule[d.Rule]++
+	}
+	if byRule["statecov"] == 0 || byRule["hotalloc"] == 0 {
+		t.Fatalf("fixtures should yield both rules, got %v", byRule)
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags, root
+}
+
+// TestNewRulesJSONRoundTrip renders the fixture findings as JSON and
+// checks rule, module-relative file, and message survive.
+func TestNewRulesJSONRoundTrip(t *testing.T) {
+	diags, root := newRuleDiags(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, root, diags); err != nil {
+		t.Fatal(err)
+	}
+	var got []JSONFinding
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(diags) {
+		t.Fatalf("want %d findings, got %d", len(diags), len(got))
+	}
+	for i, f := range got {
+		if f.Rule != diags[i].Rule || f.Message != diags[i].Msg {
+			t.Errorf("finding %d mangled: %+v vs %+v", i, f, diags[i])
+		}
+		if filepath.IsAbs(f.File) {
+			t.Errorf("finding %d file should be module-relative: %s", i, f.File)
+		}
+	}
+}
+
+// TestNewRulesSARIF checks the SARIF log carries descriptors for both
+// new rules and one result each with the right location and message.
+func TestNewRulesSARIF(t *testing.T) {
+	diags, root := newRuleDiags(t)
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, root, diags); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Runs []struct {
+			Tool struct {
+				Driver struct {
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for _, r := range log.Runs[0].Tool.Driver.Rules {
+		ids[r.ID] = true
+	}
+	if !ids["statecov"] || !ids["hotalloc"] {
+		t.Fatalf("SARIF rule metadata missing the new rules: %v", ids)
+	}
+	seen := map[string]bool{}
+	for _, r := range log.Runs[0].Results {
+		seen[r.RuleID] = true
+		if len(r.Locations) != 1 || r.Message.Text == "" {
+			t.Errorf("result %s missing location or message", r.RuleID)
+		}
+		uri := r.Locations[0].PhysicalLocation.ArtifactLocation.URI
+		switch r.RuleID {
+		case "statecov":
+			if filepath.Base(uri) != "snapfix.go" {
+				t.Errorf("statecov result should sit in snapfix.go, got %s", uri)
+			}
+		case "hotalloc":
+			if filepath.Base(uri) != "hotfix.go" {
+				t.Errorf("hotalloc result should sit in hotfix.go, got %s", uri)
+			}
+		}
+	}
+	if !seen["statecov"] || !seen["hotalloc"] {
+		t.Fatalf("SARIF results missing a rule: %v", seen)
+	}
+}
+
+// TestNewRulesBaseline acknowledges the fixture findings in a baseline,
+// then checks matching is by rule+file+message (not line), a new
+// finding stays fresh, and a fixed one surfaces as a stale entry.
+func TestNewRulesBaseline(t *testing.T) {
+	diags, root := newRuleDiags(t)
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, root, diags); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The baseline stores unique rule+file+message keys: the two int64
+	// boxings in the fixture's box() share one entry.
+	uniq := map[string]bool{}
+	for _, d := range diags {
+		uniq[d.Rule+"\x00"+d.Pos.Filename+"\x00"+d.Msg] = true
+	}
+	if len(b.Findings) != len(uniq) {
+		t.Fatalf("want %d baselined findings, got %d", len(uniq), len(b.Findings))
+	}
+
+	// Shift every line: still fully acknowledged.
+	moved := append([]Diagnostic(nil), diags...)
+	for i := range moved {
+		moved[i].Pos.Line += 100
+	}
+	fresh, stale := ApplyBaseline(b, root, moved)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("line moves should not disturb matching: fresh=%v stale=%v", fresh, stale)
+	}
+
+	// Drop one hotalloc finding (fixed) and reword one statecov message
+	// (new finding): one fresh, two stale.
+	next := append([]Diagnostic(nil), diags...)
+	for i := range next {
+		if next[i].Rule == "hotalloc" {
+			next = append(next[:i], next[i+1:]...)
+			break
+		}
+	}
+	for i := range next {
+		if next[i].Rule == "statecov" {
+			next[i].Msg = strings.Replace(next[i].Msg, "field", "member", 1)
+			break
+		}
+	}
+	fresh, stale = ApplyBaseline(b, root, next)
+	if len(fresh) != 1 || fresh[0].Rule != "statecov" {
+		t.Errorf("want the reworded statecov finding fresh, got %v", fresh)
+	}
+	if len(stale) != 2 {
+		t.Errorf("want the fixed hotalloc and original statecov entries stale, got %v", stale)
+	}
+}

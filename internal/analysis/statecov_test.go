@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadSnapcovModule mounts the statecov fixture as a module package.
+func loadSnapcovModule(t *testing.T) *Module {
+	t.Helper()
+	const path = "flov/internal/snapfix"
+	loader := newDirLoader(t, map[string]string{path: "snapcov"})
+	if _, err := loader.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	return NewModule(loader.ModulePath, loader.Fset, loader.Packages())
+}
+
+// TestStatecovFixture checks statecov against the marked fixture: the
+// uncaptured fields (root-level and through the type walk), the
+// missing-restore half-pair, the reasonless skip — and silence on the
+// captured fields, the reasoned skip, and the type-level exemption.
+func TestStatecovFixture(t *testing.T) {
+	m := loadSnapcovModule(t)
+
+	got := make(map[finding]int)
+	for _, d := range RunModule(m, []*ModuleAnalyzer{StatecovAnalyzer}) {
+		got[finding{filepath.Base(d.Pos.Filename), d.Pos.Line, d.Rule}]++
+	}
+	dir, err := filepath.Abs(filepath.Join("testdata", "snapcov"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantFindings(t, dir)
+	for f, n := range want {
+		if got[f] != n {
+			t.Errorf("%s:%d: want %d %s finding(s), got %d", f.file, f.line, n, f.rule, got[f])
+		}
+	}
+	for f, n := range got {
+		if want[f] == 0 {
+			t.Errorf("%s:%d: unexpected %s finding (x%d)", f.file, f.line, f.rule, n)
+		}
+	}
+}
+
+// TestStatecovMessages pins the wording that makes the findings
+// actionable: the owning type and field for an uncaptured field, the
+// pair name for a half-pair type, and the reason demand for a bare skip.
+func TestStatecovMessages(t *testing.T) {
+	m := loadSnapcovModule(t)
+	diags := RunModule(m, []*ModuleAnalyzer{StatecovAnalyzer})
+
+	wants := []string{
+		"field Sim.Uncov is not touched by any CaptureState/RestoreState path",
+		"field Packet.Meta is not touched by any CaptureState/RestoreState path",
+		"type CaptOnly has CaptureState but no RestoreState",
+		"//flovsnap:skip on field Sim.bad needs a reason",
+	}
+	for _, want := range wants {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Msg, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no statecov finding contains %q; got %v", want, diags)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package hotfix is the hotalloc fixture: one hot root (Sim.Step) whose
+// call tree holds every allocation form the analyzer classifies, the
+// amortized and cold shapes it must stay silent on, and an allocating
+// function only reachable through a debug-gated edge.
+package hotfix
+
+import (
+	"fmt"
+
+	"flov/internal/assert"
+)
+
+// Sink is the interface target boxing findings land on.
+type Sink interface {
+	Put(v any)
+}
+
+// Sim is the fixture's hot-path state.
+type Sim struct {
+	buf  []int
+	seen []int
+	sink Sink
+	hook func()
+}
+
+// Step is the fixture hot root.
+func (s *Sim) Step(now int64) {
+	s.buf = append(s.buf, int(now)) // amortized: persistent self-append
+	s.refill()
+	s.allocate(now)
+	s.box(now)
+	s.closures(now)
+	s.cold(now)
+	helperChain(s, now)
+}
+
+// refill exercises the length-reset refill exemption.
+func (s *Sim) refill() {
+	s.seen = append(s.seen[:0], len(s.buf))
+}
+
+// allocate exercises the builtin allocators; the bare-local self-append
+// grows a fresh backing array every call, so it is not amortized.
+func (s *Sim) allocate(now int64) {
+	m := make([]int, 4) // want hotalloc
+	p := new(Sim)       // want hotalloc
+	var local []int
+	local = append(local, int(now)) // want hotalloc
+	_, _, _ = m, p, local
+}
+
+// box exercises interface boxing at a parameter, a declaration, and an
+// assignment, plus the fmt fold and the pointer-shaped exemptions.
+func (s *Sim) box(now int64) {
+	s.sink.Put(now)  // want hotalloc
+	var v any = now  // want hotalloc
+	v = s.buf        // want hotalloc
+	s.sink.Put(s)    // *Sim is pointer-shaped: no box
+	v = s.sink       // interface-to-interface: no new box
+	fmt.Println(now) // want hotalloc
+	_ = v
+}
+
+// closures exercises the stored-closure and go-statement findings and
+// the direct-callback exemption.
+func (s *Sim) closures(now int64) {
+	s.hook = func() { s.buf = append(s.buf, int(now)) } // want hotalloc
+	s.each(func(x int) { _ = x + int(now) })
+	go func() { s.refill() }() // want hotalloc
+}
+
+// each visits buf entries through a non-escaping callback.
+func (s *Sim) each(f func(int)) {
+	for _, x := range s.buf {
+		f(x)
+	}
+}
+
+// cold exercises the two automatic exemptions: panic arguments and the
+// assert-gated debug block, whose call edges are not even traversed.
+func (s *Sim) cold(now int64) {
+	if now < 0 {
+		panic(fmt.Sprintf("bad cycle %d", now))
+	}
+	if assert.On {
+		s.debugDump()
+	}
+}
+
+// debugDump allocates freely; it is only reachable through the
+// assert-gated block, so none of it is reported.
+func (s *Sim) debugDump() {
+	dump := make([]int, len(s.buf))
+	copy(dump, s.buf)
+	fmt.Println(dump)
+}
+
+// helperChain is the middle link of the chain the marker test pins; its
+// own allocation is deliberately waived.
+func helperChain(s *Sim, now int64) {
+	s.deep(now)
+	t := make([]int64, 1) //flovlint:allow hotalloc -- fixture waiver
+	_ = t
+}
+
+// deep carries the boxing site whose reported chain must read
+// Step -> helperChain -> deep.
+func (s *Sim) deep(now int64) {
+	s.sink.Put(now) // want hotalloc
+}
+
+// rebuild is not reachable from Step: cold-start work, never reported.
+func (s *Sim) rebuild(n int) {
+	s.buf = make([]int, 0, n)
+	s.seen = make([]int, 0, n)
+}

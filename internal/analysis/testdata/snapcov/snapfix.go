@@ -1,0 +1,61 @@
+// Package snapfix is the statecov fixture: one full snapshot root, one
+// half-pair type, a nested struct the type walk descends into, a
+// type-level exemption, and every skip-comment outcome.
+package snapfix
+
+// Config is reachable from Sim.Cfg but wholly exempt: the type-level
+// skip stops the walk before its fields.
+//
+//flovsnap:skip immutable fixture configuration
+type Config struct {
+	Rate float64 // uncaptured, but exempt through the type skip
+}
+
+// Packet rides in Sim.queue, so the walk descends into it.
+type Packet struct {
+	ID   int
+	Meta int // want statecov
+}
+
+// State is the wire form CaptureState produces.
+type State struct {
+	Cycle int64
+	IDs   []int
+}
+
+// Sim is the snapshot root: it declares the full pair.
+type Sim struct {
+	Cycle   int64
+	Cfg     Config
+	queue   []*Packet
+	Uncov   int   // want statecov
+	scratch []int //flovsnap:skip rebuilt from queue on first use
+	bad     int   //flovsnap:skip // want statecov
+}
+
+// CaptureState serializes the live state.
+func (s *Sim) CaptureState() State {
+	st := State{Cycle: s.Cycle}
+	for _, p := range s.queue {
+		st.IDs = append(st.IDs, p.ID)
+	}
+	_ = s.Cfg
+	return st
+}
+
+// RestoreState applies a snapshot.
+func (s *Sim) RestoreState(st State) {
+	s.Cycle = st.Cycle
+	s.queue = s.queue[:0]
+	for _, id := range st.IDs {
+		s.queue = append(s.queue, &Packet{ID: id})
+	}
+}
+
+// CaptOnly declares only the capture half of the pair.
+type CaptOnly struct { // want statecov
+	N int
+}
+
+// CaptureState serializes N.
+func (c *CaptOnly) CaptureState() int { return c.N }

@@ -59,6 +59,8 @@ func Mechanisms() []Mechanism { return []Mechanism{Baseline, RP, RFLOV, GFLOV} }
 
 // Config captures every parameter of a simulation run. The zero value is
 // not usable; start from Default().
+//
+//flovsnap:skip immutable run configuration: snapshots restore onto a network freshly built from the same config, and restore validates compatibility
 type Config struct {
 	// Topology.
 	Width  int // mesh width (X dimension)

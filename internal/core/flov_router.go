@@ -16,18 +16,18 @@ import (
 // power-state FSM, PSRs, HSC message handling, FLOV latches and credit
 // relaying. All inter-router knowledge flows through control messages.
 type flovRouter struct {
-	id   int
-	mech *Mechanism
-	r    *router.Router
-	mesh topology.Mesh
-	cfg  config.Config
+	id   int            //flovsnap:skip identity fixed at construction
+	mech *Mechanism     //flovsnap:skip wiring installed by Attach
+	r    *router.Router //flovsnap:skip wiring installed by Attach
+	mesh topology.Mesh  //flovsnap:skip immutable topology
+	cfg  config.Config  //flovsnap:skip immutable run configuration
 
 	state     PowerState
 	coreGated bool
-	neverGate bool // always-on column routers never power down
+	neverGate bool // always-on column routers never power down //flovsnap:skip derived from mesh position at construction
 
 	// PSR set 1: immediate (physical) neighbors.
-	physID    [topology.NumLinkDirs]int
+	physID    [topology.NumLinkDirs]int //flovsnap:skip immutable physical neighbor ids
 	physState [topology.NumLinkDirs]PowerState
 	// PSR set 2: logical neighbors (nearest powered-on router per
 	// direction; equals the physical neighbor while it is powered).
@@ -36,7 +36,7 @@ type flovRouter struct {
 
 	// FLOV latch datapath: one output latch per direction; only the
 	// dimensions with neighbors on both sides carry fly-over links.
-	flovX, flovY bool
+	flovX, flovY bool //flovsnap:skip derived from mesh position at construction
 	latch        [topology.NumLinkDirs]*noc.Flit
 
 	// Handshake bookkeeping.
@@ -51,8 +51,8 @@ type flovRouter struct {
 	lastLocal  int64 // last cycle with local (core) traffic activity
 	wakeSent   map[int]int64
 
-	localBusy func() bool
-	now       int64
+	localBusy func() bool //flovsnap:skip wiring installed by Attach
+	now       int64       //flovsnap:skip re-seeded from the cycle argument at the top of every Tick
 
 	// Counters for tests and reports.
 	sleeps, wakes, drainAborts, wakeAborts int64
@@ -163,7 +163,7 @@ func (w *flovRouter) send(d topology.Direction, m Msg) {
 	if w.r.Ports[d].OutCtrl == nil {
 		return
 	}
-	w.r.Ports[d].OutCtrl.Push(w.now, router.CtrlSignal(m))
+	w.r.Ports[d].OutCtrl.Push(w.now, router.CtrlSignal(m)) //flovlint:allow hotalloc -- control messages flow only during power transitions
 	w.mech.ledger.AddDyn(power.CatHandshake, 1)
 }
 
@@ -191,7 +191,7 @@ func (w *flovRouter) relay(from topology.Direction, s router.Signal) {
 // would die at the edge and wedge the requester in Draining/Wakeup.
 func (w *flovRouter) relayOrBounce(from topology.Direction, m Msg) {
 	if w.r.Ports[from.Opposite()].OutCtrl != nil {
-		w.relay(from, router.CtrlSignal(m))
+		w.relay(from, router.CtrlSignal(m)) //flovlint:allow hotalloc -- control messages flow only during power transitions
 		return
 	}
 	w.send(from, Msg{Type: MsgDrainDone, From: w.id, To: m.From})
@@ -421,7 +421,7 @@ func (w *flovRouter) commitSleep(now int64) {
 		if w.physID[far] >= 0 {
 			m.LogID = w.logID[far]
 			m.LogState = w.logState[far]
-			m.Counts = append([]int(nil), w.r.Out(far).Credits...)
+			m.Counts = append([]int(nil), w.r.Out(far).Credits...) //flovlint:allow hotalloc -- credit-sync snapshot taken once per sleep commit
 		}
 		w.send(topology.Direction(d), m)
 	}
@@ -511,12 +511,12 @@ func (w *flovRouter) handleWakeupMsg(d topology.Direction, m Msg) {
 		if m.To == w.id {
 			w.doneNeeded[d] = false
 		} else {
-			w.relay(d, router.CtrlSignal(m))
+			w.relay(d, router.CtrlSignal(m)) //flovlint:allow hotalloc -- control messages flow only during power transitions
 		}
 	case MsgDrainReject, MsgCreditSync:
 		// Point-to-point replies for someone else pass through.
 		if m.To != w.id {
-			w.relay(d, router.CtrlSignal(m))
+			w.relay(d, router.CtrlSignal(m)) //flovlint:allow hotalloc -- control messages flow only during power transitions
 		}
 	case MsgDrainReq:
 		// Draining loses to Wakeup: force the requester to abort.
@@ -532,12 +532,12 @@ func (w *flovRouter) handleWakeupMsg(d topology.Direction, m Msg) {
 		w.relayOrBounce(d, m)
 	case MsgSleep:
 		w.observe(d, m)
-		w.relay(d, router.CtrlSignal(m))
+		w.relay(d, router.CtrlSignal(m)) //flovlint:allow hotalloc -- control messages flow only during power transitions
 	case MsgAwake:
 		w.observe(d, m)
 	case MsgWakeTarget:
 		if m.Target != w.id {
-			w.relay(d, router.CtrlSignal(m))
+			w.relay(d, router.CtrlSignal(m)) //flovlint:allow hotalloc -- control messages flow only during power transitions
 		}
 	default:
 		w.observe(d, m)

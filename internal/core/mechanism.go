@@ -12,11 +12,11 @@ import (
 type Mechanism struct {
 	// OnTransition, when set, observes every router power-state change
 	// (event tracing, tests). Must be set before the first cycle.
-	OnTransition func(now int64, id int, from, to PowerState)
+	OnTransition func(now int64, id int, from, to PowerState) //flovsnap:skip observer hook, not simulation state
 
 	generalized bool
-	net         *network.Network
-	ledger      *power.Ledger
+	net         *network.Network //flovsnap:skip wiring installed by Attach
+	ledger      *power.Ledger    //flovsnap:skip wiring installed by Attach
 	ws          []*flovRouter
 }
 

@@ -119,7 +119,7 @@ func ParseDir(s string) (topology.Direction, error) {
 	case "W", "w", "west":
 		return topology.West, nil
 	}
-	return 0, fmt.Errorf("fault: unknown link direction %q", s)
+	return 0, fmt.Errorf("fault: unknown link direction %q", s) //flovlint:allow hotalloc -- reached only when a fault event fires, never in steady state
 }
 
 // ParseSpec decodes a fault spec from JSON, rejecting unknown fields so a
@@ -142,11 +142,11 @@ const permanentlyDown = int64(-1)
 // state after N ticks is a pure function of the spec and the mesh, and it
 // serializes for checkpoints via CaptureState/RestoreState.
 type Injector struct {
-	spec Spec
+	spec Spec //flovsnap:skip immutable after NewInjector; the snapshot container carries the canonical spec JSON and rejects mismatches
 	mesh topology.Mesh
 	rng  *sim.RNG
 
-	transient int64 // resolved heal delay for rate-driven faults
+	transient int64 // resolved heal delay for rate-driven faults //flovsnap:skip derived from the spec in NewInjector
 
 	// linkDown[node][dir] mirrors each physical link under both endpoint
 	// entries; routerDown[id] covers whole routers. Encoding: downState.
@@ -349,12 +349,12 @@ func (inj *Injector) Reachable(a, b int) bool {
 func (inj *Injector) recomputeComponents() {
 	inj.permVersion++
 	n := inj.mesh.N()
-	comp := make([]int, n)
+	comp := make([]int, n) //flovlint:allow hotalloc -- recompute runs only when the permanent fault set changes
 	for i := range comp {
 		comp[i] = -1
 	}
 	next := 0
-	queue := make([]int, 0, n)
+	queue := make([]int, 0, n) //flovlint:allow hotalloc -- recompute runs only when the permanent fault set changes
 	for start := 0; start < n; start++ {
 		if comp[start] >= 0 || inj.routerDown[start] == permanentlyDown {
 			continue
@@ -372,7 +372,7 @@ func (inj *Injector) recomputeComponents() {
 					continue
 				}
 				comp[nb] = next
-				queue = append(queue, nb)
+				queue = append(queue, nb) //flovlint:allow hotalloc -- recompute runs only when the permanent fault set changes
 			}
 		}
 		next++

@@ -63,11 +63,11 @@ type Network struct {
 
 	// Trace, when enabled, records simulator events into a bounded ring
 	// (power transitions, gating changes, reconfigurations, deliveries).
-	Trace *nlog.Log
+	Trace *nlog.Log //flovsnap:skip opt-in observability ring, not simulation state
 
-	Schedule *gating.Schedule
+	Schedule *gating.Schedule   //flovsnap:skip immutable schedule; progress is captured as schedIdx
 	Gen      *traffic.Generator // nil for closed-loop (trace) runs
-	InjRate  float64            // offered load, flits/cycle/node
+	InjRate  float64            // offered load, flits/cycle/node //flovsnap:skip immutable run parameter
 
 	// Faults is the optional fault-injection subsystem (AttachFaults);
 	// nil for ordinary runs.
@@ -75,13 +75,14 @@ type Network struct {
 
 	// InjectHook, when set, replaces synthetic generation (closed-loop
 	// drivers enqueue packets themselves each cycle).
-	InjectHook func(now int64)
+	InjectHook func(now int64) //flovsnap:skip wiring reinstalled by the closed-loop driver on restore
 
 	rng           *sim.RNG
 	faultSpecJSON string // canonical fault spec (snapshot compatibility)
-	dropAfter     int64  // fault drop timeout in cycles
+	dropAfter     int64  // fault drop timeout in cycles //flovsnap:skip derived from the fault spec in AttachFaults
 	injectors     []*traffic.Injector
 	gatedMask     []bool
+	activeScratch []bool //flovsnap:skip scratch for activeMask, re-derived from gatedMask
 	schedIdx      int
 	nextPkt       uint64
 	now           int64
@@ -182,7 +183,7 @@ func New(cfg config.Config, mech Mechanism, sched *gating.Schedule, gen *traffic
 		n.gatedMask = make([]bool, cfg.N())
 	}
 	if gen != nil {
-		gen.SetActive(activeFrom(n.gatedMask))
+		gen.SetActive(n.activeMask())
 	}
 
 	mech.Attach(n)
@@ -210,13 +211,14 @@ func (n *Network) EnableTrace(l *nlog.Log) {
 	}
 }
 
-// activeFrom inverts a gated mask.
-func activeFrom(gated []bool) []bool {
-	act := make([]bool, len(gated))
-	for i, g := range gated {
-		act[i] = !g
+// activeMask inverts the gating mask into a reused buffer (SetActive
+// copies, so handing out the scratch is safe). Valid until the next call.
+func (n *Network) activeMask() []bool {
+	n.activeScratch = n.activeScratch[:0]
+	for _, g := range n.gatedMask {
+		n.activeScratch = append(n.activeScratch, !g)
 	}
-	return act
+	return n.activeScratch
 }
 
 // Now returns the current cycle.
@@ -254,10 +256,10 @@ func (n *Network) Step() {
 			n.schedIdx++
 			n.gatedMask = append(n.gatedMask[:0], evs[n.schedIdx].Gated...)
 			if n.Gen != nil {
-				n.Gen.SetActive(activeFrom(n.gatedMask))
+				n.Gen.SetActive(n.activeMask())
 			}
 			if n.Trace != nil {
-				n.Trace.Addf(now, nlog.KGating, -1, "mask changed: %d cores gated", countGated(n.gatedMask))
+				n.Trace.Addf(now, nlog.KGating, -1, "mask changed: %d cores gated", countGated(n.gatedMask)) //flovlint:allow hotalloc -- opt-in tracing of gating-change events
 			}
 			n.Mech.OnGatingChange(now, n.gatedMask)
 		}
@@ -322,7 +324,7 @@ func (n *Network) StopGeneration(at int64) { n.genStop = at }
 func (n *Network) SetGatingMask(mask []bool) {
 	n.gatedMask = append(n.gatedMask[:0], mask...)
 	if n.Gen != nil {
-		n.Gen.SetActive(activeFrom(n.gatedMask))
+		n.Gen.SetActive(n.activeMask())
 	}
 	n.Mech.OnGatingChange(n.now, n.gatedMask)
 }

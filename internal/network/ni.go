@@ -17,13 +17,13 @@ import (
 // arriving packets.
 type NI struct {
 	ID  int
-	Cfg config.Config
+	Cfg config.Config //flovsnap:skip immutable run configuration
 
 	// Channel endpoints (the router holds the mirrored ends).
-	sendFlit *sim.Delay[*noc.Flit]     // NI -> router local input
-	recvFlit *sim.Delay[*noc.Flit]     // router local output -> NI
-	credIn   *sim.Delay[router.Signal] // router -> NI: credits for injection VCs
-	credOut  *sim.Delay[router.Signal] // NI -> router: credits for ejection buffers
+	sendFlit *sim.Delay[*noc.Flit]     // NI -> router local input //flovsnap:skip captured through the router Local port by the snapshot channel enumeration
+	recvFlit *sim.Delay[*noc.Flit]     // router local output -> NI //flovsnap:skip captured through the router Local port by the snapshot channel enumeration
+	credIn   *sim.Delay[router.Signal] // router -> NI: credits for injection VCs //flovsnap:skip captured through the router Local port by the snapshot channel enumeration
+	credOut  *sim.Delay[router.Signal] // NI -> router: credits for ejection buffers //flovsnap:skip captured through the router Local port by the snapshot channel enumeration
 
 	queues  [][]*noc.Packet // per-vnet source queues (unbounded)
 	sending []*txState      // per-vnet in-flight injection
@@ -32,13 +32,13 @@ type NI struct {
 
 	// CanInject gates new flit injection (Router Parking reconfiguration
 	// stalls). nil means always allowed.
-	CanInject func() bool
+	CanInject func() bool //flovsnap:skip wiring installed by network.New
 	// OnDeliver is called when a packet's tail is consumed.
-	OnDeliver func(p *noc.Packet, now int64)
+	OnDeliver func(p *noc.Packet, now int64) //flovsnap:skip observer hook, not simulation state
 
-	Stats *stats.Collector
+	Stats *stats.Collector //flovsnap:skip aliases the network-level collector, captured once there
 	// Trace, when set, records packet deliveries.
-	Trace *nlog.Log
+	Trace *nlog.Log //flovsnap:skip opt-in observability ring, not simulation state
 }
 
 // txState tracks one packet being serialized into the router.
@@ -113,7 +113,7 @@ func (ni *NI) DropWhere(pred func(p *noc.Packet) bool, onDrop func(p *noc.Packet
 			if pred(p) {
 				onDrop(p)
 			} else {
-				kept = append(kept, p)
+				kept = append(kept, p) //flovlint:allow hotalloc -- drop classification runs only under permanent faults
 			}
 		}
 		// Zero the tail so dropped packets do not linger in the backing
@@ -168,7 +168,7 @@ func (ni *NI) eject(f *noc.Flit, now int64) {
 		}
 		p.EjectedAt = now
 		if ni.Trace != nil {
-			ni.Trace.Addf(now, nlog.KPacket, ni.ID, "delivered pkt%d %d->%d lat=%d", p.ID, p.Src, p.Dst, p.TotalLatency())
+			ni.Trace.Addf(now, nlog.KPacket, ni.ID, "delivered pkt%d %d->%d lat=%d", p.ID, p.Src, p.Dst, p.TotalLatency()) //flovlint:allow hotalloc -- opt-in delivery tracing
 		}
 		ni.Stats.Record(p)
 		if ni.OnDeliver != nil {

@@ -183,7 +183,7 @@ func (n *Network) RestoreState(s State, pkts []*noc.Packet) error {
 	}
 	n.gatedMask = append(n.gatedMask[:0], s.GatedMask...)
 	if n.Gen != nil {
-		n.Gen.SetActive(activeFrom(n.gatedMask))
+		n.Gen.SetActive(n.activeMask())
 	}
 	n.Stats.RestoreState(s.Stats)
 	n.Ledger.RestoreState(s.Ledger)

@@ -87,7 +87,7 @@ func (f *Flit) String() string {
 
 // MakePacketFlits builds the flit train for a packet.
 func MakePacketFlits(p *Packet) []*Flit {
-	flits := make([]*Flit, p.Size)
+	flits := make([]*Flit, p.Size) //flovlint:allow hotalloc -- per-packet flit construction; pooling is the cycle-kernel rewrite (ROADMAP)
 	for i := 0; i < p.Size; i++ {
 		t := Body
 		switch {

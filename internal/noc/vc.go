@@ -45,7 +45,7 @@ type bufEntry struct {
 
 // InputVC is one virtual-channel input buffer plus its pipeline state.
 type InputVC struct {
-	Index int     // VC index within the input port
+	Index int     // VC index within the input port //flovsnap:skip structural index fixed at construction
 	State VCState // pipeline state
 
 	// Route/allocation results (valid once past the respective stage).
@@ -61,7 +61,7 @@ type InputVC struct {
 	WaitSince int64
 
 	buf      []bufEntry
-	capacity int
+	capacity int //flovsnap:skip structural buffer depth from config
 }
 
 // NewInputVC returns an empty input VC with the given buffer capacity.
@@ -137,7 +137,7 @@ func (v *InputVC) Reset() {
 type OutputVCState struct {
 	Credits   []int  // free slots per downstream VC
 	Allocated []bool // downstream VC currently owned by a packet
-	depth     int
+	depth     int    //flovsnap:skip structural buffer depth from config
 }
 
 // NewOutputVCState returns per-VC credit state with every VC holding

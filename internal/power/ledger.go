@@ -45,7 +45,7 @@ func (c DynCategory) String() string {
 // power once per cycle. A Ledger is not safe for concurrent use (each
 // simulated network owns one).
 type Ledger struct {
-	model *Model
+	model *Model //flovsnap:skip immutable power model derived from config
 
 	dynPJ    [NumCategories]float64
 	staticPJ float64

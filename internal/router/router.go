@@ -77,42 +77,42 @@ func (p *PortLink) Connected() bool { return p.OutFlit != nil }
 // Router is one baseline virtual-channel router.
 type Router struct {
 	ID    int
-	Cfg   config.Config
-	Mesh  topology.Mesh
+	Cfg   config.Config //flovsnap:skip immutable run configuration
+	Mesh  topology.Mesh //flovsnap:skip immutable topology
 	Ports [topology.NumPorts]PortLink
 
 	// RouteFn computes the output port for a head flit that arrived on
 	// inDir (topology.Local for injected packets). escape selects the
 	// escape-subnetwork algorithm. Must be set before the first Tick.
-	RouteFn func(inDir topology.Direction, escape bool, pkt *noc.Packet) routing.Decision
+	RouteFn func(inDir topology.Direction, escape bool, pkt *noc.Packet) routing.Decision //flovsnap:skip routing function installed at construction
 	// AllocOK reports whether NEW packets may currently be allocated
 	// toward outDir (handshake draining gates this). nil means always ok.
-	AllocOK func(outDir topology.Direction) bool
+	AllocOK func(outDir topology.Direction) bool //flovsnap:skip wiring installed by the gating mechanism on Attach
 	// WakeReq is invoked (possibly repeatedly) when a packet must wait
 	// for gated destination target to wake. nil ignores.
-	WakeReq func(target int)
+	WakeReq func(target int) //flovsnap:skip wiring installed by the gating mechanism on Attach
 	// OnCtrl receives non-credit control messages. nil drops them.
-	OnCtrl func(from topology.Direction, msg any)
+	OnCtrl func(from topology.Direction, msg any) //flovsnap:skip wiring installed by the gating mechanism on Attach
 	// DropCredit, when non-nil and true for a port, discards incoming
 	// credits on it. A freshly woken FLOV router uses this to ignore
 	// credits that raced ahead of (and are already included in) the
 	// pending MsgCreditSync snapshot.
-	DropCredit func(from topology.Direction) bool
+	DropCredit func(from topology.Direction) bool //flovsnap:skip wiring installed by the gating mechanism on Attach
 
 	// Faults, when non-nil, is the fault-injection subsystem's per-router
 	// hook: it filters routing decisions, blocks switch traversal onto
 	// failed links and enables the fault-recovery heuristics. While no
 	// fault has been injected every method is a strict no-op.
-	Faults FaultHook
+	Faults FaultHook //flovsnap:skip wiring installed by AttachFaults
 	// OnDrop observes packets the fault path drops (classified losses):
 	// flits is how many buffered flits were discarded. nil ignores.
-	OnDrop func(pkt *noc.Packet, flits int, now int64)
+	OnDrop func(pkt *noc.Packet, flits int, now int64) //flovsnap:skip observer hook, not simulation state
 	// Frozen, when true, halts the whole pipeline: a faulted router
 	// processes nothing until the fault heals. Links into it still queue
 	// (bounded by credits).
 	Frozen bool
 
-	Ledger *power.Ledger
+	Ledger *power.Ledger //flovsnap:skip wiring installed by network.New
 
 	in  [topology.NumPorts][]*noc.InputVC
 	out [topology.NumPorts]*noc.OutputVCState
@@ -120,6 +120,11 @@ type Router struct {
 	vaPtr [topology.NumPorts]int
 	saPtr [topology.NumPorts]int
 	inPtr [topology.NumPorts]int
+
+	// Per-cycle scratch buffers, reused so the VA stage allocates nothing
+	// in steady state. Contents are only valid within one stage call.
+	vcScratch []int       //flovsnap:skip scratch, valid only within one stage call
+	vaScratch []saRequest //flovsnap:skip scratch, valid only within one stage call
 
 	// Traversals counts flits switched through this router's crossbar
 	// (utilization heat maps).
@@ -132,6 +137,8 @@ type Router struct {
 func New(id int, cfg config.Config, mesh topology.Mesh, ledger *power.Ledger) *Router {
 	r := &Router{ID: id, Cfg: cfg, Mesh: mesh, Ledger: ledger}
 	vcs := cfg.VCsTotal()
+	r.vcScratch = make([]int, 0, vcs)
+	r.vaScratch = make([]saRequest, 0, int(topology.NumPorts)*vcs)
 	for p := 0; p < int(topology.NumPorts); p++ {
 		r.in[p] = make([]*noc.InputVC, vcs)
 		for v := 0; v < vcs; v++ {
@@ -270,15 +277,16 @@ func (r *Router) stageRC(now int64) {
 // has entered the escape subnetwork. Ejection (Local) frees the packet
 // from the escape restriction — any VC of the vnet works at the NI.
 func (r *Router) candidateVCs(pkt *noc.Packet, outDir topology.Direction) []int {
-	base := r.Cfg.VCBase(pkt.VNet)
 	if pkt.Escape && outDir != topology.Local {
-		return []int{r.Cfg.EscapeVC(pkt.VNet)}
+		r.vcScratch = append(r.vcScratch[:0], r.Cfg.EscapeVC(pkt.VNet))
+		return r.vcScratch
 	}
-	cands := make([]int, 0, r.Cfg.VCsPerVNet)
+	base := r.Cfg.VCBase(pkt.VNet)
+	r.vcScratch = r.vcScratch[:0]
 	for i := 0; i < r.Cfg.VCsPerVNet; i++ {
-		cands = append(cands, base+i)
+		r.vcScratch = append(r.vcScratch, base+i)
 	}
-	return cands
+	return r.vcScratch
 }
 
 // stageVA allocates downstream VCs to packets that completed RC at least
@@ -289,19 +297,17 @@ func (r *Router) stageVA(now int64) {
 		if !r.Ports[out].Connected() {
 			continue
 		}
-		// Gather requesters for this output.
-		type req struct {
-			port int
-			ivc  *noc.InputVC
-		}
-		var reqs []req
+		// Gather requesters for this output (reused scratch: gathering
+		// afresh per output allocates nothing in steady state).
+		r.vaScratch = r.vaScratch[:0]
 		for p := 0; p < int(topology.NumPorts); p++ {
 			for _, ivc := range r.in[p] {
 				if ivc.State == noc.VCWaitVC && ivc.OutDir == outDir && ivc.RCCycle < now {
-					reqs = append(reqs, req{port: p, ivc: ivc})
+					r.vaScratch = append(r.vaScratch, saRequest{port: p, ivc: ivc})
 				}
 			}
 		}
+		reqs := r.vaScratch
 		if len(reqs) == 0 {
 			continue
 		}
@@ -369,7 +375,8 @@ func (r *Router) stageVA(now int64) {
 	}
 }
 
-// saRequest is one input port's switch-allocation bid.
+// saRequest is one input VC's allocation request (the VA stage's reused
+// scratch element).
 type saRequest struct {
 	port int
 	ivc  *noc.InputVC
@@ -385,7 +392,7 @@ func (r *Router) stageSA(now int64) {
 	pipeGate := int64(r.Cfg.RouterStages)
 
 	// Input-first: each input port nominates one ready VC (round-robin).
-	var bids [topology.NumPorts]*saRequest
+	var bids [topology.NumPorts]*noc.InputVC
 	for p := 0; p < int(topology.NumPorts); p++ {
 		vcs := r.in[p]
 		n := len(vcs)
@@ -411,33 +418,39 @@ func (r *Router) stageSA(now int64) {
 				r.maybeEscapeStarved(ivc, now)
 				continue
 			}
-			bids[p] = &saRequest{port: p, ivc: ivc}
+			bids[p] = ivc
 			break
 		}
 		r.inPtr[p]++
 	}
 
-	// Output-side arbitration: one winner per output port.
+	// Output-side arbitration: one winner per output port. Counting then
+	// re-walking the (six-entry) bid array keeps this allocation-free.
 	for out := 0; out < int(topology.NumPorts); out++ {
 		outDir := topology.Direction(out)
-		var cands []*saRequest
-		for p := 0; p < int(topology.NumPorts); p++ {
-			if bids[p] != nil && bids[p].ivc.OutDir == outDir {
-				cands = append(cands, bids[p])
+		cands := 0
+		for p := range bids {
+			if bids[p] != nil && bids[p].OutDir == outDir {
+				cands++
 			}
 		}
-		if len(cands) == 0 {
+		if cands == 0 {
 			continue
 		}
-		winner := cands[r.saPtr[out]%len(cands)]
+		pick := r.saPtr[out] % cands
 		r.saPtr[out]++
-		r.traverse(winner, now)
-		// Losers keep their bids for future cycles; clear so an input
-		// port sends at most one flit per cycle.
 		for p := range bids {
-			if bids[p] == winner {
-				bids[p] = nil
+			if bids[p] == nil || bids[p].OutDir != outDir {
+				continue
 			}
+			if pick == 0 {
+				r.traverse(p, bids[p], now)
+				// Losers keep their bids for future cycles; clear so an
+				// input port sends at most one flit per cycle.
+				bids[p] = nil
+				break
+			}
+			pick--
 		}
 	}
 }
@@ -533,8 +546,7 @@ func (r *Router) dropFront(port topology.Direction, ivc *noc.InputVC, now int64)
 
 // traverse moves the winning flit through the crossbar onto its output
 // link and returns a credit upstream.
-func (r *Router) traverse(w *saRequest, now int64) {
-	ivc := w.ivc
+func (r *Router) traverse(port int, ivc *noc.InputVC, now int64) {
 	f := ivc.Pop()
 	outDir := ivc.OutDir
 
@@ -561,8 +573,8 @@ func (r *Router) traverse(w *saRequest, now int64) {
 	}
 
 	// Credit back to whoever feeds this input port (router or NI).
-	if r.Ports[w.port].OutCtrl != nil {
-		r.Ports[w.port].OutCtrl.Push(now, CreditSignal(ivc.Index))
+	if r.Ports[port].OutCtrl != nil {
+		r.Ports[port].OutCtrl.Push(now, CreditSignal(ivc.Index))
 		r.Ledger.AddDyn(power.CatCredit, 1)
 	}
 

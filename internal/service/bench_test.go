@@ -45,6 +45,7 @@ func BenchmarkServeSweep(b *testing.B) {
 		b.Fatal(err)
 	}
 
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows, _, err := c.Run(context.Background(), spec, nil)

@@ -9,7 +9,7 @@ package sim
 // FIFO order is preserved even for items pushed on the same cycle, so a
 // control channel can rely on "credit then notice" ordering.
 type Delay[T any] struct {
-	latency int64
+	latency int64 //flovsnap:skip property of the wire, not of the traffic on it
 	items   []timed[T]
 }
 

@@ -29,7 +29,7 @@ func (b Breakdown) Total() float64 {
 type TimeBin struct {
 	Start  int64   // first cycle of the bin
 	Count  int64   // packets ejected in the bin
-	AvgLat float64 // average total latency of those packets
+	AvgLat float64 // average total latency of those packets //flovsnap:skip derived from sumLat/Count when Timeline renders
 	sumLat int64
 }
 
@@ -61,11 +61,11 @@ func (b *TimeBin) UnmarshalJSON(data []byte) error {
 // MeasureStart contribute to the timeline but not to the aggregate
 // averages (warmup exclusion).
 type Collector struct {
-	MeasureStart int64 // first cycle of the measurement window
-	BinSize      int64 // timeline bin width; 0 disables the timeline
+	MeasureStart int64 // first cycle of the measurement window //flovsnap:skip immutable measurement window config
+	BinSize      int64 // timeline bin width; 0 disables the timeline //flovsnap:skip immutable measurement window config
 
-	RouterStages   int // cycles per active router hop
-	FLOVHopLatency int // cycles per FLOV latch hop
+	RouterStages   int // cycles per active router hop //flovsnap:skip immutable latency-model parameter
+	FLOVHopLatency int // cycles per FLOV latch hop //flovsnap:skip immutable latency-model parameter
 
 	count         int64
 	sumTotal      int64

@@ -62,15 +62,15 @@ func (o Outcome) String() string {
 
 // Driver executes one benchmark profile on one network.
 type Driver struct {
-	net  *network.Network
+	net  *network.Network //flovsnap:skip wiring installed by NewDriver
 	prof Profile
 	rng  *sim.RNG
 
 	cores   []coreState
-	mcs     []int
-	mcSet   map[int]bool
+	mcs     []int        //flovsnap:skip derived from mesh corners at construction
+	mcSet   map[int]bool //flovsnap:skip derived from mesh corners at construction
 	replies []pendingReply
-	masks   [][]bool
+	masks   [][]bool //flovsnap:skip pre-drawn deterministically at construction
 	phase   int
 	txns    int64
 

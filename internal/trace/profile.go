@@ -17,6 +17,8 @@
 package trace
 
 // Profile characterizes one PARSEC-like benchmark.
+//
+//flovsnap:skip immutable workload description: a restored driver is rebuilt from the same profile
 type Profile struct {
 	Name string
 

@@ -69,9 +69,9 @@ func ParsePattern(s string) (Pattern, error) {
 // Generator draws destinations for one pattern over a mesh, restricted to
 // the currently active cores.
 type Generator struct {
-	Pattern  Pattern
-	Mesh     topology.Mesh
-	Hotspots []int // hotspot destinations (Hotspot pattern only)
+	Pattern  Pattern       //flovsnap:skip immutable generator config
+	Mesh     topology.Mesh //flovsnap:skip immutable generator config
+	Hotspots []int         // hotspot destinations (Hotspot pattern only) //flovsnap:skip immutable generator config
 
 	activeList []int // cached list of active node ids
 	active     []bool
@@ -164,8 +164,8 @@ func (g *Generator) Dest(src int, rng *sim.RNG) int {
 // a Bernoulli process calibrated so the offered load equals rate flits
 // per cycle per active node.
 type Injector struct {
-	RateFlits  float64 // offered load in flits/cycle/node
-	PacketSize int
+	RateFlits  float64 // offered load in flits/cycle/node //flovsnap:skip immutable injector config; rng is captured via RNGState
+	PacketSize int     //flovsnap:skip immutable injector config; rng is captured via RNGState
 	rng        *sim.RNG
 }
 
