@@ -136,6 +136,11 @@ func ParsePattern(s string) (Pattern, error) { return traffic.ParsePattern(s) }
 // AllMechanisms lists the four mechanisms in canonical figure order.
 func AllMechanisms() []Mechanism { return config.Mechanisms() }
 
+// AllPatterns lists every synthetic traffic pattern in canonical order,
+// mirroring AllMechanisms. CLIs use it for help text and the
+// design-space explorer for its pattern axis.
+func AllPatterns() []Pattern { return traffic.Patterns() }
+
 // NewMechanism instantiates the controller for a mechanism.
 func NewMechanism(m Mechanism) (network.Mechanism, error) { return sweep.NewMechanism(m) }
 
@@ -188,7 +193,7 @@ func Build(o SyntheticOptions) (*Network, error) {
 	}
 	sched := o.Schedule
 	if sched == nil {
-		mask := gating.FractionGated(mesh, o.GatedFraction, o.Protect, sim.NewRNG(o.GatedSeed^0xabcd))
+		mask := gating.FractionGated(mesh, o.GatedFraction, o.Protect, sim.NewRNG(sim.MaskSeed(o.GatedSeed)))
 		sched = gating.Static(mask)
 	}
 	gen := traffic.NewGenerator(o.Pattern, mesh, o.Hotspots)
@@ -348,7 +353,7 @@ func SyntheticJob(o SyntheticOptions) (SweepJob, error) {
 		Rate:      o.InjRate,
 		Frac:      o.GatedFraction,
 		Mechanism: o.Mechanism,
-		MaskSeed:  o.GatedSeed ^ 0xabcd, // Build's derivation: same point, same hash
+		MaskSeed:  sim.MaskSeed(o.GatedSeed), // Build's derivation: same point, same hash
 		Protect:   o.Protect,
 		Hotspots:  o.Hotspots,
 		Faults:    o.Faults,

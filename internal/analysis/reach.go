@@ -74,6 +74,13 @@ func DefaultReachRoots() []RootSpec {
 		// failing trial must re-simulate it bit-identically.
 		{Pkg: "flov/internal/relcheck", Recv: "Spec", Func: "Jobs"},
 		{Pkg: "flov/internal/relcheck", Func: "replayTrial"},
+		// The optimizer's deterministic halves — candidate proposal and
+		// score absorption (strategy Ask/Tell, archive updates, genome
+		// decoding). The engine call between them is the only wall-clock
+		// part of a generation; everything the search identity depends
+		// on must stay pure or fronts stop reproducing across processes.
+		{Pkg: "flov/internal/opt", Recv: "run", Func: "propose"},
+		{Pkg: "flov/internal/opt", Recv: "run", Func: "absorb"},
 	}
 }
 

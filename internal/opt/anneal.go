@@ -1,0 +1,78 @@
+package opt
+
+import (
+	"math"
+
+	"flov/internal/sim"
+)
+
+// anneal is a multi-chain simulated-annealing strategy: Population
+// independent chains each hold a current genome; every generation each
+// chain proposes a one-gene-forced mutation of its current point and
+// accepts it if the (relative, summed over objectives) score change is
+// an improvement, or with Boltzmann probability exp(-delta/T) under a
+// geometric cooling schedule otherwise. Chains never interact, so the
+// strategy explores Population basins in parallel.
+type anneal struct {
+	sizes []int
+	// chains holds each chain's current genome and scores; empty until
+	// the first Tell.
+	chains []indiv
+}
+
+// coolingRate is the geometric temperature decay per generation.
+const coolingRate = 0.85
+
+func (a *anneal) Name() string { return "anneal" }
+
+// Ask proposes one neighbor per chain (uniform samples before the first
+// Tell seeds the chains).
+func (a *anneal) Ask(rng *sim.RNG, gen, n int) [][]int {
+	genomes := make([][]int, n)
+	for i := range genomes {
+		if i >= len(a.chains) {
+			genomes[i] = randomGenome(rng, a.sizes)
+			continue
+		}
+		g := make([]int, len(a.sizes))
+		copy(g, a.chains[i].genome)
+		mutate(rng, a.sizes, g, rng.Intn(len(g)))
+		genomes[i] = g
+	}
+	return genomes
+}
+
+// Tell applies the Metropolis acceptance rule chain by chain.
+func (a *anneal) Tell(rng *sim.RNG, gen int, genomes [][]int, scores [][]float64) {
+	temp := math.Pow(coolingRate, float64(gen))
+	for i, g := range genomes {
+		cand := indiv{genome: g, scores: scores[i]}
+		if i >= len(a.chains) {
+			a.chains = append(a.chains, cand)
+			continue
+		}
+		delta := relativeDelta(scores[i], a.chains[i].scores)
+		// Always draw, so the rng stream position does not depend on the
+		// accept/reject history (keeps chains independent of each other's
+		// outcomes under the shared stream).
+		u := rng.Float64()
+		if delta <= 0 || u < math.Exp(-delta/temp) {
+			a.chains[i] = cand
+		}
+	}
+}
+
+// relativeDelta sums the per-objective relative change from old to new;
+// negative means the proposal improves on balance. Scales by |old| so
+// objectives with different units weigh comparably.
+func relativeDelta(newScores, oldScores []float64) float64 {
+	var delta float64
+	for i := range newScores {
+		scale := math.Abs(oldScores[i])
+		if scale < 1e-12 {
+			scale = 1e-12
+		}
+		delta += (newScores[i] - oldScores[i]) / scale
+	}
+	return delta
+}

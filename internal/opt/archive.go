@@ -1,0 +1,116 @@
+package opt
+
+import (
+	"sort"
+
+	"flov/internal/network"
+	"flov/internal/sweep"
+)
+
+// Point is one archived candidate: its genome, the job it decodes to,
+// the full simulation results and the minimized objective scores.
+type Point struct {
+	// Gen is the generation the point was first evaluated in.
+	Gen int `json:"gen"`
+	// Genome indexes the space's value lists, one gene per dimension.
+	Genome []int `json:"genome"`
+	// Hash is the candidate's sweep job hash (its cache identity).
+	Hash string `json:"hash"`
+	// Scores are the minimized objective values, in spec order.
+	Scores []float64 `json:"scores"`
+	// Job is the decoded simulation point.
+	Job sweep.Job `json:"job"`
+	// Res is the finished simulation's full result set.
+	Res network.Results `json:"res"`
+}
+
+// Dominates reports whether score vector a Pareto-dominates b: no worse
+// on every objective and strictly better on at least one. Both vectors
+// minimize and must have equal length.
+func Dominates(a, b []float64) bool {
+	better := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			better = true
+		}
+	}
+	return better
+}
+
+// Archive is the running non-dominated set. The zero value is ready to
+// use. Insertion order does not affect the final front: a point enters
+// only if nothing present dominates it, and evicts everything it
+// dominates.
+type Archive struct {
+	pts []Point
+}
+
+// Add offers a point to the archive. It returns false (and leaves the
+// archive unchanged) when an existing point dominates the candidate or
+// shares its genome; otherwise the candidate enters and every point it
+// dominates is pruned.
+func (ar *Archive) Add(p Point) bool {
+	for _, q := range ar.pts {
+		if sameGenome(q.Genome, p.Genome) || Dominates(q.Scores, p.Scores) {
+			return false
+		}
+	}
+	kept := ar.pts[:0]
+	for _, q := range ar.pts {
+		if !Dominates(p.Scores, q.Scores) {
+			kept = append(kept, q)
+		}
+	}
+	ar.pts = append(kept, p)
+	return true
+}
+
+// Len is the current front size.
+func (ar *Archive) Len() int { return len(ar.pts) }
+
+// Front returns the archived points sorted canonically: by score vector
+// lexicographically, genome as the tie-break. The order is a pure
+// function of the set, so fronts compare byte-for-byte across runs.
+func (ar *Archive) Front() []Point {
+	front := make([]Point, len(ar.pts))
+	copy(front, ar.pts)
+	sort.Slice(front, func(i, j int) bool {
+		return pointLess(front[i], front[j])
+	})
+	return front
+}
+
+// pointLess orders points by scores then genome, without ever testing
+// floats for equality: each key falls through only when neither side is
+// strictly smaller.
+func pointLess(a, b Point) bool {
+	for k := range a.Scores {
+		if a.Scores[k] < b.Scores[k] {
+			return true
+		}
+		if b.Scores[k] < a.Scores[k] {
+			return false
+		}
+	}
+	for k := range a.Genome {
+		if a.Genome[k] != b.Genome[k] {
+			return a.Genome[k] < b.Genome[k]
+		}
+	}
+	return false
+}
+
+func sameGenome(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

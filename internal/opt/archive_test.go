@@ -1,0 +1,82 @@
+package opt
+
+import "testing"
+
+func pt(genome []int, scores ...float64) Point {
+	return Point{Genome: genome, Scores: scores}
+}
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{2, 2}, true},
+		{[]float64{1, 2}, []float64{1, 3}, true},
+		{[]float64{1, 1}, []float64{1, 1}, false}, // equal: neither dominates
+		{[]float64{1, 3}, []float64{2, 2}, false}, // trade-off
+		{[]float64{2, 2}, []float64{1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestArchiveDominancePruning(t *testing.T) {
+	var ar Archive
+	if !ar.Add(pt([]int{0}, 5, 5)) {
+		t.Fatal("first point rejected")
+	}
+	// A dominated candidate must not enter.
+	if ar.Add(pt([]int{1}, 6, 6)) {
+		t.Fatal("dominated point entered the archive")
+	}
+	// A dominating candidate evicts what it dominates.
+	if !ar.Add(pt([]int{2}, 4, 4)) {
+		t.Fatal("dominating point rejected")
+	}
+	if ar.Len() != 1 {
+		t.Fatalf("archive kept %d points after eviction, want 1", ar.Len())
+	}
+	// A trade-off point coexists.
+	if !ar.Add(pt([]int{3}, 1, 9)) {
+		t.Fatal("trade-off point rejected")
+	}
+	if ar.Len() != 2 {
+		t.Fatalf("archive kept %d points, want 2", ar.Len())
+	}
+	// A duplicate genome is rejected even with different scores.
+	if ar.Add(pt([]int{3}, 0, 0)) {
+		t.Fatal("duplicate genome entered the archive")
+	}
+}
+
+func TestArchiveFrontOrderIsCanonical(t *testing.T) {
+	points := []Point{
+		pt([]int{2}, 3, 1),
+		pt([]int{0}, 1, 3),
+		pt([]int{1}, 2, 2),
+	}
+	// Insert in two different orders; the front must come out identical.
+	var a, b Archive
+	for _, p := range points {
+		a.Add(p)
+	}
+	for i := len(points) - 1; i >= 0; i-- {
+		b.Add(points[i])
+	}
+	fa, fb := a.Front(), b.Front()
+	if len(fa) != 3 || len(fb) != 3 {
+		t.Fatalf("front sizes %d/%d, want 3", len(fa), len(fb))
+	}
+	for i := range fa {
+		if !sameGenome(fa[i].Genome, fb[i].Genome) {
+			t.Fatalf("front order differs at %d: %v vs %v", i, fa[i].Genome, fb[i].Genome)
+		}
+	}
+	if fa[0].Scores[0] >= fa[1].Scores[0] || fa[1].Scores[0] >= fa[2].Scores[0] {
+		t.Fatalf("front not sorted by first score: %v", fa)
+	}
+}

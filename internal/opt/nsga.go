@@ -1,0 +1,218 @@
+package opt
+
+import (
+	"math"
+	"sort"
+
+	"flov/internal/sim"
+)
+
+// nsga2 is an NSGA-II-style evolutionary strategy: binary tournament
+// selection on (non-domination rank, crowding distance), uniform
+// crossover and per-gene mutation, with (mu+lambda) survivor selection
+// over the merged parent+offspring pool. Determinism comes from the
+// driver-supplied RNG streams and from breaking every sort tie on the
+// genome, never on float equality.
+type nsga2 struct {
+	sizes []int
+	// pop is the surviving parent pool, rebuilt by each Tell.
+	pop []indiv
+	// cap is the steady-state population size, fixed by the first Tell.
+	cap int
+}
+
+// indiv is one scored genome with its selection keys.
+type indiv struct {
+	genome []int
+	scores []float64
+	rank   int
+	crowd  float64
+}
+
+func (n *nsga2) Name() string { return "nsga2" }
+
+// Ask samples the grid uniformly on the first generation and breeds
+// offspring from the current pool afterwards.
+func (n *nsga2) Ask(rng *sim.RNG, gen, count int) [][]int {
+	genomes := make([][]int, count)
+	for i := range genomes {
+		if len(n.pop) == 0 {
+			genomes[i] = randomGenome(rng, n.sizes)
+			continue
+		}
+		p1 := n.tournament(rng)
+		p2 := n.tournament(rng)
+		child := make([]int, len(n.sizes))
+		for k := range child {
+			if rng.Intn(2) == 0 {
+				child[k] = p1.genome[k]
+			} else {
+				child[k] = p2.genome[k]
+			}
+		}
+		mutate(rng, n.sizes, child, -1)
+		genomes[i] = child
+	}
+	return genomes
+}
+
+// tournament picks the better of two uniform draws: lower rank wins,
+// then larger crowding distance, then the earlier pool index (a stable
+// deterministic tie-break).
+func (n *nsga2) tournament(rng *sim.RNG) indiv {
+	i := rng.Intn(len(n.pop))
+	j := rng.Intn(len(n.pop))
+	a, b := n.pop[i], n.pop[j]
+	switch {
+	case a.rank < b.rank:
+		return a
+	case b.rank < a.rank:
+		return b
+	case a.crowd > b.crowd:
+		return a
+	case b.crowd > a.crowd:
+		return b
+	case i <= j:
+		return a
+	default:
+		return b
+	}
+}
+
+// Tell merges the evaluated offspring into the pool and keeps the best
+// cap individuals by (rank, crowding).
+func (n *nsga2) Tell(rng *sim.RNG, gen int, genomes [][]int, scores [][]float64) {
+	if n.cap == 0 {
+		n.cap = len(genomes)
+	}
+	merged := make([]indiv, 0, len(n.pop)+len(genomes))
+	merged = append(merged, n.pop...)
+	for i, g := range genomes {
+		merged = append(merged, indiv{genome: g, scores: scores[i]})
+	}
+	merged = dedupIndivs(merged)
+	rankAndCrowd(merged)
+	sort.SliceStable(merged, func(i, j int) bool {
+		a, b := merged[i], merged[j]
+		if a.rank != b.rank {
+			return a.rank < b.rank
+		}
+		if a.crowd > b.crowd {
+			return true
+		}
+		if b.crowd > a.crowd {
+			return false
+		}
+		return genomeLess(a.genome, b.genome)
+	})
+	if len(merged) > n.cap {
+		merged = merged[:n.cap]
+	}
+	n.pop = merged
+}
+
+// dedupIndivs drops repeated genomes, keeping the first occurrence (the
+// established pool member over the fresh duplicate).
+func dedupIndivs(pool []indiv) []indiv {
+	seen := make(map[string]bool, len(pool))
+	out := pool[:0]
+	for _, in := range pool {
+		k := genomeKey(in.genome)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, in)
+	}
+	return out
+}
+
+// rankAndCrowd assigns non-domination ranks (fast non-dominated sort)
+// and per-front crowding distances in place.
+func rankAndCrowd(pool []indiv) {
+	n := len(pool)
+	domCount := make([]int, n)    // how many dominate i
+	dominated := make([][]int, n) // whom i dominates
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch {
+			case Dominates(pool[i].scores, pool[j].scores):
+				dominated[i] = append(dominated[i], j)
+				domCount[j]++
+			case Dominates(pool[j].scores, pool[i].scores):
+				dominated[j] = append(dominated[j], i)
+				domCount[i]++
+			}
+		}
+	}
+	var front []int
+	for i := 0; i < n; i++ {
+		if domCount[i] == 0 {
+			pool[i].rank = 0
+			front = append(front, i)
+		}
+	}
+	for rank := 0; len(front) > 0; rank++ {
+		crowding(pool, front)
+		var next []int
+		for _, i := range front {
+			for _, j := range dominated[i] {
+				domCount[j]--
+				if domCount[j] == 0 {
+					pool[j].rank = rank + 1
+					next = append(next, j)
+				}
+			}
+		}
+		front = next
+	}
+}
+
+// crowding computes crowding distances for one front: per objective,
+// boundary points get +Inf and interior points accumulate the
+// normalized gap between their neighbors.
+func crowding(pool []indiv, front []int) {
+	for _, i := range front {
+		pool[i].crowd = 0
+	}
+	if len(front) < 3 {
+		for _, i := range front {
+			pool[i].crowd = math.Inf(1)
+		}
+		return
+	}
+	order := make([]int, len(front))
+	for m := range pool[front[0]].scores {
+		copy(order, front)
+		sort.SliceStable(order, func(a, b int) bool {
+			if pool[order[a]].scores[m] < pool[order[b]].scores[m] {
+				return true
+			}
+			if pool[order[b]].scores[m] < pool[order[a]].scores[m] {
+				return false
+			}
+			return genomeLess(pool[order[a]].genome, pool[order[b]].genome)
+		})
+		lo := pool[order[0]].scores[m]
+		hi := pool[order[len(order)-1]].scores[m]
+		pool[order[0]].crowd = math.Inf(1)
+		pool[order[len(order)-1]].crowd = math.Inf(1)
+		if hi-lo <= 0 {
+			continue
+		}
+		for k := 1; k < len(order)-1; k++ {
+			gap := (pool[order[k+1]].scores[m] - pool[order[k-1]].scores[m]) / (hi - lo)
+			pool[order[k]].crowd += gap
+		}
+	}
+}
+
+// genomeLess orders genomes lexicographically.
+func genomeLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,169 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"flov/internal/network"
+	"flov/internal/sweep"
+)
+
+func TestObjectiveRoundTrip(t *testing.T) {
+	for _, o := range Objectives() {
+		got, err := ParseObjective(o.String())
+		if err != nil {
+			t.Fatalf("ParseObjective(%q): %v", o, err)
+		}
+		if got != o {
+			t.Fatalf("round trip %v -> %q -> %v", o, o.String(), got)
+		}
+	}
+	if _, err := ParseObjective("nope"); err == nil {
+		t.Fatal("unknown objective accepted")
+	}
+}
+
+func TestObjectiveValues(t *testing.T) {
+	j := sweep.Job{}
+	j.Config.PacketSize = 4
+	res := network.Results{
+		TotalEnergyPJ: 800, Packets: 100,
+		AvgLatency: 25, P99Latency: 64, ThroughputFpc: 0.5,
+	}
+	if got := EnergyPerFlit.value(j, res); got != 2 { // 800 pJ / 400 flits
+		t.Fatalf("energy per flit = %v, want 2", got)
+	}
+	if got := Throughput.value(j, res); got != -0.5 {
+		t.Fatalf("throughput score = %v, want -0.5 (negated)", got)
+	}
+	// Zero delivered flits must score infeasible, not divide by zero.
+	if got := EnergyPerFlit.value(j, network.Results{}); got < infeasible {
+		t.Fatalf("zero-flit energy score = %v, want the infeasible sentinel", got)
+	}
+}
+
+func TestParseObjectivesRejectsDegenerate(t *testing.T) {
+	if _, err := parseObjectives([]string{"energy_per_flit"}); err == nil {
+		t.Fatal("single objective accepted; a front needs two")
+	}
+	if _, err := parseObjectives([]string{"latency", "mean_latency"}); err == nil {
+		t.Fatal("duplicate objective accepted")
+	}
+	if _, err := parseObjectives([]string{"energy", "p99", "tput"}); err != nil {
+		t.Fatalf("aliases rejected: %v", err)
+	}
+}
+
+func TestSpaceResolveValidation(t *testing.T) {
+	bad := []Space{
+		{Widths: []int{1}},
+		{Heights: []int{0}},
+		{VCs: []int{0}},
+		{Buffers: []int{2}}, // cannot hold a 4-flit packet
+		{Wakeups: []int{-1}},
+		{GatedFracs: []float64{1.5}},
+		{Rates: []float64{0}},
+		{Mechanisms: []string{"nope"}},
+		{Patterns: []string{"nope"}},
+	}
+	for i, s := range bad {
+		if _, err := s.resolve(); err == nil {
+			t.Errorf("bad space %d accepted: %+v", i, s)
+		}
+	}
+}
+
+// TestEveryGenomeDecodesValid walks the full corner set of a mixed
+// space and checks that each decoded job passes config validation — the
+// invariant that lets the optimizer skip per-candidate error handling.
+func TestEveryGenomeDecodesValid(t *testing.T) {
+	spec := Spec{Space: Space{
+		Widths: []int{2, 8}, Heights: []int{2, 8},
+		VCs: []int{1, 4}, Buffers: []int{4, 8},
+		Wakeups: []int{0, 20}, GatedFracs: []float64{0, 1},
+		Rates: []float64{0.01, 0.2},
+	}}.withDefaults()
+	sp, err := spec.Space.resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := sp.sizes()
+	if len(sizes) != dims {
+		t.Fatalf("got %d dims, want %d", len(sizes), dims)
+	}
+	// Enumerate the whole grid (2^7 * 4 * 1 corners here).
+	g := make([]int, dims)
+	var walk func(d int)
+	walk = func(d int) {
+		if d == dims {
+			j := sp.job(spec, g)
+			if err := j.Config.Validate(); err != nil {
+				t.Fatalf("genome %v decodes invalid config: %v", g, err)
+			}
+			if j.MaskSeed == j.Config.Seed {
+				t.Fatalf("mask seed not derived from config seed")
+			}
+			return
+		}
+		for v := 0; v < sizes[d]; v++ {
+			g[d] = v
+			walk(d + 1)
+		}
+		g[d] = 0
+	}
+	walk(0)
+	if sp.points() != 512 {
+		t.Fatalf("space size %d, want 512", sp.points())
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"generatons": 3}`)); err == nil {
+		t.Fatal("typoed field accepted")
+	}
+	s, err := ParseSpec([]byte(`{"space": {"widths": [4]}, "strategy": "anneal"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Strategy != "anneal" || len(s.Space.Widths) != 1 {
+		t.Fatalf("parsed spec wrong: %+v", s)
+	}
+}
+
+func TestNewStrategyNames(t *testing.T) {
+	sizes := []int{2, 2, 2, 2, 2, 2, 2, 2, 2}
+	for _, name := range Strategies() {
+		s, err := NewStrategy(name, sizes)
+		if err != nil {
+			t.Fatalf("NewStrategy(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Fatalf("strategy %q reports name %q", name, s.Name())
+		}
+	}
+	if _, err := NewStrategy("hillclimb", sizes); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if s, err := NewStrategy("", sizes); err != nil || s.Name() != "nsga2" {
+		t.Fatalf("empty name should default to nsga2, got %v, %v", s, err)
+	}
+}
+
+func TestGenomeKey(t *testing.T) {
+	if k := genomeKey([]int{1, 0, 12}); k != "1,0,12" {
+		t.Fatalf("genomeKey = %q", k)
+	}
+	if k := genomeKey(nil); k != "" {
+		t.Fatalf("empty genomeKey = %q", k)
+	}
+}
+
+func TestSpecDefaults(t *testing.T) {
+	s := Spec{}.withDefaults()
+	if s.Generations != 8 || s.Population != 16 || s.Seed != 1 || s.Strategy != "nsga2" {
+		t.Fatalf("defaults wrong: %+v", s)
+	}
+	if strings.Join(s.Objectives, " ") != "energy_per_flit mean_latency" {
+		t.Fatalf("default objectives: %v", s.Objectives)
+	}
+}

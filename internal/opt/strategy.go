@@ -1,0 +1,86 @@
+package opt
+
+import (
+	"fmt"
+	"strings"
+
+	"flov/internal/sim"
+)
+
+// Strategy is the pluggable search loop. The driver calls Ask for a
+// generation's candidates, evaluates them, then calls Tell with the
+// scores. All randomness comes from the rng argument — a fresh stream
+// derived from (spec seed, generation, ask/tell label) — so a strategy
+// holds no generator state and the whole search is a pure function of
+// the spec.
+//
+// Genomes are index vectors into the space's value lists; strategies
+// are constructed with the per-dimension sizes and must stay in range.
+type Strategy interface {
+	// Name is the symbolic strategy name ("nsga2", "anneal", "random").
+	Name() string
+	// Ask proposes n candidate genomes for generation gen.
+	Ask(rng *sim.RNG, gen, n int) [][]int
+	// Tell reports the minimized score vectors for Ask's genomes, index
+	// aligned. Infeasible candidates carry the infeasible sentinel on
+	// every objective.
+	Tell(rng *sim.RNG, gen int, genomes [][]int, scores [][]float64)
+}
+
+// Strategies lists the available strategy names.
+func Strategies() []string { return []string{"nsga2", "anneal", "random"} }
+
+// NewStrategy constructs a strategy by name for a space with the given
+// per-dimension sizes.
+func NewStrategy(name string, sizes []int) (Strategy, error) {
+	switch strings.ToLower(name) {
+	case "", "nsga2", "nsga":
+		return &nsga2{sizes: sizes}, nil
+	case "anneal", "sa":
+		return &anneal{sizes: sizes}, nil
+	case "random", "random-grid":
+		return &randomGrid{sizes: sizes}, nil
+	}
+	return nil, fmt.Errorf("opt: unknown strategy %q (want one of %s)",
+		name, strings.Join(Strategies(), ", "))
+}
+
+// randomGrid is the baseline strategy: every generation is a fresh
+// uniform sample of the grid. It learns nothing from Tell, which makes
+// it the control any smarter strategy has to beat.
+type randomGrid struct {
+	sizes []int
+}
+
+func (r *randomGrid) Name() string { return "random" }
+
+func (r *randomGrid) Ask(rng *sim.RNG, gen, n int) [][]int {
+	genomes := make([][]int, n)
+	for i := range genomes {
+		genomes[i] = randomGenome(rng, r.sizes)
+	}
+	return genomes
+}
+
+func (r *randomGrid) Tell(rng *sim.RNG, gen int, genomes [][]int, scores [][]float64) {}
+
+// randomGenome draws one uniform genome.
+func randomGenome(rng *sim.RNG, sizes []int) []int {
+	g := make([]int, len(sizes))
+	for i, s := range sizes {
+		g[i] = rng.Intn(s)
+	}
+	return g
+}
+
+// mutate resamples each gene with probability 1/len(g). At least the
+// caller-chosen forced gene always resamples (pass -1 to disable), so a
+// proposal never degenerates to its parent on small genomes.
+func mutate(rng *sim.RNG, sizes, g []int, forced int) {
+	p := 1.0 / float64(len(g))
+	for i, s := range sizes {
+		if i == forced || rng.Float64() < p {
+			g[i] = rng.Intn(s)
+		}
+	}
+}

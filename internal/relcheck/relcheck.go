@@ -28,6 +28,7 @@ import (
 
 	"flov/internal/config"
 	"flov/internal/fault"
+	"flov/internal/sim"
 	"flov/internal/stats"
 	"flov/internal/sweep"
 	"flov/internal/topology"
@@ -102,30 +103,26 @@ func (s Spec) Validate() error {
 	return nil
 }
 
-// mix64 is the SplitMix64 finalizer, used to derive well-separated
-// per-trial fault seeds from the spec's seed base.
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
+// streamLabel names this package's seed stream in sim.DeriveSeed; the
+// value spells "flovrel" and must never change (it is baked into every
+// cached trial's identity).
+const streamLabel = 0x666c6f7672656c
 
 // trialFaultSeed derives the fault-RNG seed for one trial: the scenario's
 // own seed XOR an avalanche of the trial index, so every trial draws an
 // independent fault timeline while staying a pure function of the spec.
+// The arithmetic lives in sim.DeriveSeed, shared with the optimizer's
+// search streams, so the layers cannot drift on seed semantics.
 func trialFaultSeed(base, specSeed uint64, trial int) uint64 {
-	return specSeed ^ mix64(base+uint64(trial)*0x9e3779b97f4a7c15+0x666c6f7672656c) // "flovrel"
+	return sim.DeriveSeed(base, specSeed, streamLabel, trial)
 }
 
 // Jobs expands the spec into one sweep job per trial, cell-major in
 // (mechanism, fault, trial) order — the order report consumes. The
 // derivations are chosen so a trial is replayable under flovsim with the
 // recorded seeds alone: Config.Seed doubles as the gated-set seed
-// (MaskSeed = Seed ^ 0xabcd, flovsim's own -seed derivation) and the
-// fault spec embeds its per-trial seed verbatim.
+// (sim.MaskSeed, flovsim's own -seed derivation) and the fault spec
+// embeds its per-trial seed verbatim.
 func (s Spec) Jobs() []sweep.Job {
 	jobs := make([]sweep.Job, 0, len(s.Mechanisms)*len(s.Faults)*s.Trials)
 	for _, mech := range s.Mechanisms {
@@ -143,7 +140,7 @@ func (s Spec) Jobs() []sweep.Job {
 					Pattern:   s.Pattern,
 					Rate:      s.Rate,
 					Frac:      s.Frac,
-					MaskSeed:  cfg.Seed ^ 0xabcd,
+					MaskSeed:  sim.MaskSeed(cfg.Seed),
 					Protect:   s.Protect,
 					Hotspots:  s.Hotspots,
 					Mechanism: mech,

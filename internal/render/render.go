@@ -63,6 +63,85 @@ func HeatMap(m topology.Mesh, value func(id int) float64) string {
 	return b.String()
 }
 
+// XY is one point of a scatter plot.
+type XY struct {
+	X, Y float64
+}
+
+// Series is one glyph-tagged point set of a scatter plot. Later series
+// draw over earlier ones where cells collide.
+type Series struct {
+	Glyph rune
+	Pts   []XY
+}
+
+// Scatter renders series into a w x h character grid with a box border
+// and the axis ranges annotated underneath — enough to eyeball a Pareto
+// front in a terminal or a CI log. Ranges cover all series; degenerate
+// ranges (a single x or y value) center their points. The output is a
+// pure function of the input, so golden tests and cross-process
+// determinism checks can compare it byte-for-byte.
+func Scatter(w, h int, series []Series) string {
+	if w < 2 {
+		w = 2
+	}
+	if h < 2 {
+		h = 2
+	}
+	xlo, xhi := math.Inf(1), math.Inf(-1)
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, p := range s.Pts {
+			xlo, xhi = math.Min(xlo, p.X), math.Max(xhi, p.X)
+			ylo, yhi = math.Min(ylo, p.Y), math.Max(yhi, p.Y)
+		}
+	}
+	grid := make([][]rune, h)
+	for i := range grid {
+		grid[i] = make([]rune, w)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	// cell maps a value into [0, n) along a possibly degenerate range.
+	cell := func(v, lo, hi float64, n int) int {
+		if hi-lo < 1e-300 {
+			return n / 2
+		}
+		i := int(math.Round(float64(n-1) * (v - lo) / (hi - lo)))
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		return i
+	}
+	plotted := false
+	for _, s := range series {
+		for _, p := range s.Pts {
+			plotted = true
+			x := cell(p.X, xlo, xhi, w)
+			y := cell(p.Y, ylo, yhi, h)
+			grid[h-1-y][x] = s.Glyph // y grows upward
+		}
+	}
+	var b strings.Builder
+	b.WriteString("+" + strings.Repeat("-", w) + "+\n")
+	for _, row := range grid {
+		b.WriteString("|")
+		b.WriteString(string(row))
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", w) + "+\n")
+	if plotted {
+		fmt.Fprintf(&b, "x: %g .. %g   y: %g .. %g\n", xlo, xhi, ylo, yhi)
+	} else {
+		b.WriteString("(no points)\n")
+	}
+	return b.String()
+}
+
 // Legend renders a one-line legend for a power map.
 func Legend() string {
 	return "A=active  D=draining  W=waking  .=power-gated  (north row on top)"

@@ -50,6 +50,49 @@ func TestSideBySide(t *testing.T) {
 	}
 }
 
+func TestScatterPlacesCorners(t *testing.T) {
+	got := Scatter(11, 5, []Series{{Glyph: '*', Pts: []XY{{0, 0}, {10, 4}}}})
+	lines := strings.Split(got, "\n")
+	// Border top, 5 rows, border bottom, axis line, trailing "".
+	if len(lines) != 9 {
+		t.Fatalf("got %d lines:\n%s", len(lines), got)
+	}
+	if lines[5] != "|*          |" {
+		t.Errorf("min corner misplaced: %q", lines[5])
+	}
+	if lines[1] != "|          *|" {
+		t.Errorf("max corner misplaced: %q", lines[1])
+	}
+	if lines[7] != "x: 0 .. 10   y: 0 .. 4" {
+		t.Errorf("axis annotation: %q", lines[7])
+	}
+}
+
+func TestScatterDeterministicAndDegenerate(t *testing.T) {
+	s := []Series{{Glyph: 'o', Pts: []XY{{3, 7}, {3, 7}}}}
+	a, b := Scatter(8, 4, s), Scatter(8, 4, s)
+	if a != b {
+		t.Fatal("Scatter not deterministic")
+	}
+	// A single-valued range must still land inside the box, centered.
+	if !strings.Contains(a, "o") {
+		t.Fatalf("degenerate-range point not plotted:\n%s", a)
+	}
+	if empty := Scatter(8, 4, nil); !strings.Contains(empty, "(no points)") {
+		t.Fatalf("empty plot missing placeholder:\n%s", empty)
+	}
+}
+
+func TestScatterLaterSeriesWins(t *testing.T) {
+	got := Scatter(5, 3, []Series{
+		{Glyph: '.', Pts: []XY{{0, 0}, {1, 1}}},
+		{Glyph: '#', Pts: []XY{{0, 0}}},
+	})
+	if !strings.Contains(got, "#") {
+		t.Fatalf("overlay glyph lost:\n%s", got)
+	}
+}
+
 func TestLegendNonEmpty(t *testing.T) {
 	if Legend() == "" {
 		t.Fatal("legend empty")

@@ -1,0 +1,42 @@
+package sim
+
+// This file is the single home of the module's seed-derivation
+// arithmetic. The sweep engine, the reliability harness and the
+// design-space optimizer all need families of well-separated seeds that
+// are pure functions of a spec — the derivations live here so the three
+// layers cannot drift on seed semantics (a drift would silently change
+// every content-addressed cache key derived from them).
+
+// golden is the SplitMix64 additive constant (2^64/phi), used to spread
+// sequential indices across the whole 64-bit space before finalizing.
+const golden = 0x9e3779b97f4a7c15
+
+// Mix64 applies the SplitMix64 finalizer: a bijective avalanche that
+// turns correlated inputs (sequential trial indices, XOR-ed labels)
+// into statistically independent-looking 64-bit values.
+func Mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// DeriveSeed derives the seed of element index within the stream named
+// by label, decorrelated from the (base, salt) pair: salt is XOR-ed
+// with an avalanche of base, the scaled index and the label, so every
+// (label, index) combination draws an independent-looking stream while
+// staying a pure function of its inputs. The reliability harness uses
+// it for per-trial fault seeds and the optimizer for per-generation
+// search streams; both identities feed content-addressed caches, so the
+// formula must never change silently.
+func DeriveSeed(base, salt, label uint64, index int) uint64 {
+	return salt ^ Mix64(base+uint64(index)*golden+label)
+}
+
+// MaskSeed derives the gated-set draw seed from a run seed. This is
+// flovsim's -seed derivation, shared by flov.Build, sweep specs, the
+// reliability harness and the optimizer, so one simulation point has
+// one cache identity no matter which layer built it.
+func MaskSeed(seed uint64) uint64 { return seed ^ 0xabcd }

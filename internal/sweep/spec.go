@@ -7,6 +7,7 @@ import (
 
 	"flov/internal/config"
 	"flov/internal/fault"
+	"flov/internal/sim"
 	"flov/internal/trace"
 	"flov/internal/traffic"
 )
@@ -144,7 +145,7 @@ func (s Spec) syntheticJobs(mechs []config.Mechanism) ([]Job, error) {
 						Mechanism: m,
 						// Same derivation as flov.Build, so flovsim and
 						// flovsweep agree on a point's identity.
-						MaskSeed: cfg.Seed ^ 0xabcd,
+						MaskSeed: sim.MaskSeed(cfg.Seed),
 						Faults:   s.Faults,
 					})
 				}

@@ -47,6 +47,14 @@ func (p Pattern) String() string {
 	}
 }
 
+// Patterns lists every supported pattern in canonical order (the order
+// Pattern constants are declared). CLIs use it for help text and the
+// design-space explorer for its pattern axis; extending the enum
+// without extending this list fails the traffic tests.
+func Patterns() []Pattern {
+	return []Pattern{Uniform, Tornado, Transpose, BitComplement, Neighbor, Hotspot}
+}
+
 // ParsePattern converts a case-insensitive name into a Pattern.
 func ParsePattern(s string) (Pattern, error) {
 	switch strings.ToLower(s) {

@@ -42,6 +42,31 @@ func TestParsePattern(t *testing.T) {
 	}
 }
 
+// TestPatternsEnumerates checks Patterns covers the enum exactly: every
+// entry round-trips through String/ParsePattern, entries are unique,
+// and the list stays in declaration order starting at the zero value.
+func TestPatternsEnumerates(t *testing.T) {
+	ps := Patterns()
+	if len(ps) == 0 || ps[0] != Uniform {
+		t.Fatalf("Patterns() = %v, want a list starting at Uniform", ps)
+	}
+	for i, p := range ps {
+		if int(p) != i {
+			t.Errorf("Patterns()[%d] = %v, want declaration order", i, p)
+		}
+		got, err := ParsePattern(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip %v: got %v, err %v", p, got, err)
+		}
+	}
+	// A new constant appended to the enum must be added to Patterns():
+	// the value one past the end must not have a real String name.
+	next := Pattern(len(ps))
+	if _, err := ParsePattern(next.String()); err == nil {
+		t.Errorf("Pattern(%d) parses (%q) but is missing from Patterns()", len(ps), next.String())
+	}
+}
+
 func TestUniformCoversActiveSet(t *testing.T) {
 	m := mesh8(t)
 	g := NewGenerator(Uniform, m, nil)
