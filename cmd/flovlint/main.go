@@ -3,24 +3,29 @@
 // in simulation packages, no map-iteration order leaking into results,
 // no float == comparisons, no copied locks, no silently discarded
 // errors, exhaustive enum switches, lock discipline in the serving
-// layer, and — module-wide, over the static call graph — three proofs:
+// layer, and — module-wide, over the static call graph — five proofs:
 // that the simulation entry points never transitively reach a
 // wall-clock, math/rand, environment, or map-order source (reach);
 // that every struct field reachable from the snapshot roots is
 // round-tripped by CaptureState/RestoreState or carries a
-// //flovsnap:skip <reason> exemption (statecov); and that the hot
+// //flovsnap:skip <reason> exemption (statecov); that the hot
 // simulation paths (network.Step, the router pipeline, the sim.Delay
 // operations) perform no steady-state heap allocation — make/new,
 // growing append, interface boxing, fmt calls, escaping closures —
-// reported with the full call chain from the root (hotalloc). See
-// internal/analysis for the rules and the //flovlint:allow
-// suppression syntax.
+// reported with the full call chain from the root (hotalloc); that the
+// gated-router cycle branch mutates nothing outside the allowlisted
+// FLOV latch/wake state, via interprocedural mutation summaries
+// (purity); and that energy-model arithmetic never mixes Picojoules,
+// Watts and Hertz or adopts raw constants without an explicit
+// conversion (unitsafe). See internal/analysis for the rules and the
+// //flovlint:allow suppression syntax.
 //
 // Usage:
 //
 //	flovlint ./...                  # whole module (the CI gate)
 //	flovlint ./internal/core        # one package
 //	flovlint -rule floatcmp ./...
+//	flovlint -list-rules            # every rule with its one-line doc
 //	flovlint -json ./...            # findings as JSON on stdout
 //	flovlint -sarif out.sarif ./... # SARIF 2.1.0 log ("-" = stdout)
 //	flovlint -write-baseline ./...  # acknowledge current findings
@@ -37,6 +42,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -51,21 +57,18 @@ func main() {
 	rules := flag.String("rule", "", "comma-separated analyzer subset (default: all)")
 	tags := flag.String("tags", "", "comma-separated build tags (e.g. flovdebug)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	listRulesFlag := flag.Bool("list-rules", false, "list every rule with its one-line doc and exit")
 	jsonOut := flag.Bool("json", false, "emit findings as JSON on stdout")
 	sarifOut := flag.String("sarif", "", "write a SARIF 2.1.0 log to this file (\"-\" = stdout)")
 	baselinePath := flag.String("baseline", "", "baseline file (default: "+defaultBaselineName+" at the module root)")
 	writeBaseline := flag.Bool("write-baseline", false, "rewrite the baseline to acknowledge all current findings")
 	rootsFlag := flag.String("roots", "", "comma-separated reach entry points, pkg.Func or pkg.Recv.Func (default: the built-in simulator roots)")
 	hotRootsFlag := flag.String("hotroots", "", "comma-separated hotalloc entry points, same syntax as -roots (default: the built-in hot-path roots)")
+	pureRootsFlag := flag.String("pureroots", "", "comma-separated purity entry points, same syntax as -roots (default: the gated-router cycle branch)")
 	flag.Parse()
 
-	if *list {
-		for _, a := range analysis.Analyzers() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
-		}
-		for _, a := range analysis.ModuleAnalyzers() {
-			fmt.Printf("%-10s %s (module-wide)\n", a.Name, a.Doc)
-		}
+	if *list || *listRulesFlag {
+		listRules(os.Stdout)
 		return
 	}
 
@@ -129,6 +132,15 @@ func main() {
 				module.HotRoots = append(module.HotRoots, r)
 			}
 		}
+		if *pureRootsFlag != "" {
+			for _, spec := range strings.Split(*pureRootsFlag, ",") {
+				r, err := analysis.ParseRoot(strings.TrimSpace(spec))
+				if err != nil {
+					fatal(err)
+				}
+				module.PureRoots = append(module.PureRoots, r)
+			}
+		}
 		diags = append(diags, analysis.RunModule(module, modAnalyzers)...)
 	}
 	analysis.SortDiagnostics(diags)
@@ -174,6 +186,18 @@ func main() {
 	if len(fresh) > 0 {
 		fmt.Fprintf(os.Stderr, "flovlint: %d finding(s)\n", len(fresh))
 		os.Exit(1)
+	}
+}
+
+// listRules prints every rule with its one-line doc, per-package rules
+// first, then module-wide, both in registration order. The README's
+// rule table is checked against this list by TestReadmeDocumentsEveryRule.
+func listRules(w io.Writer) {
+	for _, a := range analysis.Analyzers() {
+		_, _ = fmt.Fprintf(w, "%-10s %s\n", a.Name, a.Doc)
+	}
+	for _, a := range analysis.ModuleAnalyzers() {
+		_, _ = fmt.Fprintf(w, "%-10s %s (module-wide)\n", a.Name, a.Doc)
 	}
 }
 

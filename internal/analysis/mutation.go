@@ -1,0 +1,1217 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the interprocedural mutation-summary engine: for every
+// function in the module call graph it computes a conservative summary
+// of what the function can write when called — named-type fields
+// (transitively through pointers, slices, maps and arrays), its own
+// parameters, package-level variables, and "unknown" buckets for writes
+// the field-sensitive resolution cannot place (escaping pointers,
+// dynamic function values, calls out of the module). Summaries are
+// propagated bottom-up over strongly connected components of the call
+// graph, with the same closed-world interface dispatch the graph itself
+// uses, so a root's summary covers everything reachable from it.
+//
+// The design splits each function into two halves:
+//
+//   - context-independent effects: writes whose target resolves to a
+//     type-keyed field (any write to power.Ledger.dynPJ is one Loc, no
+//     matter which Ledger), a package-level variable, or an unknown.
+//     These merge wholesale along call edges — including bare reference
+//     edges, so a callback stored in a field still contributes its
+//     writes to whoever mentions it.
+//   - context-dependent effects: writes through a parameter and calls
+//     of a func-typed parameter. These are resolved per call site by
+//     substituting the caller's argument roots, one edge at a time;
+//     what cannot be resolved (a reference edge has no argument list)
+//     degrades to an unknown write.
+//
+// Approximations, all on the conservative side except where noted:
+// writes into value-typed locals and parameters are pure (Go copy
+// semantics); writes through slice/map values track the backing store
+// to wherever the value was read from; pointers laundered through
+// composite-literal elements and writes through unnamed-struct pointers
+// obtained from calls degrade to type-keyed or unknown locations;
+// external (stdlib) calls are unknown unless on a small known-pure
+// list, and external method calls are modelled as mutating their
+// receiver. Cold regions — panic arguments and assert-gated debug
+// blocks — are excluded, matching hotalloc: code that only runs while
+// crashing or under flovdebug is not part of a purity obligation.
+
+// LocKind classifies a mutation location.
+type LocKind int
+
+const (
+	// LocField is a type-keyed field write: any write to Field of any
+	// value of the named type Pkg.Type. Field "*" covers whole-value
+	// writes (*p = T{...}) and element writes of named container types.
+	LocField LocKind = iota
+	// LocGlobal is a write to a package-level variable.
+	LocGlobal
+	// LocDeref is a write through a pointer the engine could not root.
+	LocDeref
+	// LocDynamic is a call through a function value with no static
+	// target (a func-typed field, an unknown func value).
+	LocDynamic
+	// LocExternal is a call leaving the module that is not on the
+	// known-pure list and so may write anything.
+	LocExternal
+)
+
+// Loc is one mutation location. It is comparable: summaries are sets of
+// Locs, and the purity allowlist matches on Key.
+type Loc struct {
+	Kind  LocKind
+	Pkg   string // declaring package import path (LocField, LocGlobal)
+	Type  string // named type (LocField)
+	Field string // field name or "*" (LocField); variable name (LocGlobal)
+	Desc  string // human description (LocDeref, LocDynamic, LocExternal)
+}
+
+// Key renders the loc in the fully-qualified form the purity allowlist
+// matches against: "pkg/path.Type.Field" or "pkg/path.Var".
+func (l Loc) Key() string {
+	switch l.Kind {
+	case LocField:
+		return l.Pkg + "." + l.Type + "." + l.Field
+	case LocGlobal:
+		return l.Pkg + "." + l.Field
+	default:
+		return l.Desc
+	}
+}
+
+// String renders the loc for diagnostics, with the package shortened to
+// its base name the way reach chains are.
+func (l Loc) String() string {
+	switch l.Kind {
+	case LocField:
+		return shortPkg(l.Pkg) + "." + l.Type + "." + l.Field
+	case LocGlobal:
+		return shortPkg(l.Pkg) + "." + l.Field
+	default:
+		return l.Desc
+	}
+}
+
+func shortPkg(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// Summary is the propagated mutation summary of one function: every
+// location it can write when called, plus the context-dependent halves
+// its callers must resolve — writes through its parameters and calls of
+// its func-typed parameters (parameter indices follow Signature.Params;
+// receivers are always type-keyed, never parameters).
+type Summary struct {
+	Writes      map[Loc]token.Pos
+	ParamWrites map[int]token.Pos
+	CallsParam  map[int]token.Pos
+}
+
+func newSummary() *Summary {
+	return &Summary{
+		Writes:      make(map[Loc]token.Pos),
+		ParamWrites: make(map[int]token.Pos),
+		CallsParam:  make(map[int]token.Pos),
+	}
+}
+
+// Summaries holds the propagated mutation summaries for a module.
+type Summaries struct {
+	graph *CallGraph
+	fx    map[*FuncNode]*funcEffects
+	sums  map[*FuncNode]*Summary
+	// excluded edges are not propagated: the purity analyzer excludes
+	// its declared boundary functions so wake-event transitions do not
+	// leak into the quiescent branch's obligation.
+	excluded map[*FuncNode]bool
+}
+
+// NewSummaries builds per-function mutation summaries for the module,
+// propagated bottom-up over call-graph SCCs. Edges into excluded nodes
+// (may be nil) contribute nothing.
+func NewSummaries(m *Module, excluded map[*FuncNode]bool) *Summaries {
+	graph := m.Graph()
+	s := &Summaries{
+		graph:    graph,
+		fx:       make(map[*FuncNode]*funcEffects),
+		sums:     make(map[*FuncNode]*Summary),
+		excluded: excluded,
+	}
+	for _, n := range graph.Nodes() {
+		s.fx[n] = buildEffects(m, graph, n)
+	}
+	s.propagate()
+	return s
+}
+
+// Of returns the propagated summary for n, or nil if n is not in the
+// graph.
+func (s *Summaries) Of(n *FuncNode) *Summary { return s.sums[n] }
+
+// Effects returns n's direct (pre-propagation) effects; the purity walk
+// uses them to report writes at their own positions.
+func (s *Summaries) effects(n *FuncNode) *funcEffects { return s.fx[n] }
+
+// propagate runs the bottom-up fixpoint. Tarjan emits SCCs callees
+// first, so by the time an SCC is processed every summary it depends on
+// outside itself is final.
+func (s *Summaries) propagate() {
+	for _, scc := range sccOrder(s.graph.Nodes()) {
+		for _, n := range scc {
+			s.sums[n] = s.directSummary(n)
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, n := range scc {
+				if s.mergeCallees(n) {
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// directSummary seeds a node's summary from its own body's effects.
+func (s *Summaries) directSummary(n *FuncNode) *Summary {
+	sum := newSummary()
+	fx := s.fx[n]
+	if fx == nil {
+		return sum
+	}
+	for _, w := range fx.writes {
+		if _, ok := sum.Writes[w.loc]; !ok {
+			sum.Writes[w.loc] = w.pos
+		}
+	}
+	for i, poss := range fx.paramWrites {
+		sum.ParamWrites[i] = poss[0]
+	}
+	for i, poss := range fx.callsParam {
+		sum.CallsParam[i] = poss[0]
+	}
+	return sum
+}
+
+// mergeCallees folds every callee's summary into n's, resolving the
+// context-dependent parts at each call site. Reports whether n's
+// summary grew.
+func (s *Summaries) mergeCallees(n *FuncNode) bool {
+	sum := s.sums[n]
+	before := len(sum.Writes) + len(sum.ParamWrites) + len(sum.CallsParam)
+	fx := s.fx[n]
+	for _, e := range n.Callees {
+		if s.excluded[e.Callee] {
+			continue
+		}
+		if fx != nil && fx.cold.inCold(e.Pos) {
+			continue
+		}
+		cal := s.sums[e.Callee]
+		if cal == nil {
+			continue
+		}
+		for loc := range cal.Writes {
+			if _, ok := sum.Writes[loc]; !ok {
+				sum.Writes[loc] = e.Pos
+			}
+		}
+		for _, eff := range s.substEdge(n, e) {
+			if eff.param >= 0 {
+				if _, ok := sum.ParamWrites[eff.param]; !ok {
+					sum.ParamWrites[eff.param] = e.Pos
+				}
+			} else if eff.callsParam >= 0 {
+				if _, ok := sum.CallsParam[eff.callsParam]; !ok {
+					sum.CallsParam[eff.callsParam] = e.Pos
+				}
+			} else if _, ok := sum.Writes[eff.loc]; !ok {
+				sum.Writes[eff.loc] = e.Pos
+			}
+		}
+	}
+	return len(sum.Writes)+len(sum.ParamWrites)+len(sum.CallsParam) > before
+}
+
+// edgeEffect is one effect a call edge induces in the caller after
+// substituting argument roots into the callee's summary. Exactly one of
+// loc / param / callsParam is meaningful: param and callsParam are -1
+// unless the effect escalates to one of the caller's own parameters.
+type edgeEffect struct {
+	loc        Loc
+	param      int
+	callsParam int
+}
+
+func locEffect(loc Loc) edgeEffect { return edgeEffect{loc: loc, param: -1, callsParam: -1} }
+
+// substEdge resolves the context-dependent half of the callee's summary
+// (ParamWrites, CallsParam) against the caller's argument roots at this
+// edge. Reference edges carry no argument list, so anything
+// context-dependent degrades to an unknown.
+func (s *Summaries) substEdge(n *FuncNode, e CallEdge) []edgeEffect {
+	cal := s.sums[e.Callee]
+	if cal == nil || len(cal.ParamWrites)+len(cal.CallsParam) == 0 {
+		return nil
+	}
+	fx := s.fx[n]
+	var site [][]argRoot
+	haveSite := false
+	if fx != nil {
+		site, haveSite = fx.sites[e.Pos]
+	}
+	calleeName := funcDisplay(e.Callee.Fn)
+	var out []edgeEffect
+	unknown := func(what string) {
+		out = append(out, locEffect(Loc{Kind: LocDeref, Desc: what + " escapes through " + calleeName}))
+	}
+	for _, i := range sortedParamIndexes(cal.ParamWrites) {
+		if !haveSite || i >= len(site) {
+			unknown("a parameter write")
+			continue
+		}
+		for _, r := range site[i] {
+			switch r.kind {
+			case arPure:
+			case arLoc:
+				out = append(out, locEffect(r.loc))
+			case arParam:
+				out = append(out, edgeEffect{param: r.param, callsParam: -1})
+			default:
+				unknown("a parameter write")
+			}
+		}
+	}
+	for _, i := range sortedParamIndexes(cal.CallsParam) {
+		if !haveSite || i >= len(site) {
+			out = append(out, locEffect(Loc{Kind: LocDynamic, Desc: "dynamic call of a function value passed to " + calleeName}))
+			continue
+		}
+		for _, r := range site[i] {
+			switch r.kind {
+			case arPure, arFuncLit:
+				// Literal arguments' bodies are attributed to the caller
+				// already; a pure root cannot carry a live func value.
+			case arFunc:
+				// A named function's body is covered by the reference
+				// edge its mention created; only its own parameter writes
+				// are unresolvable from here.
+				if t := s.nodeFor(r.fn); t != nil {
+					if ts := s.sums[t]; ts != nil && len(ts.ParamWrites) > 0 {
+						unknown("a parameter write")
+					}
+				}
+			case arParam:
+				out = append(out, edgeEffect{param: -1, callsParam: r.param})
+			default:
+				out = append(out, locEffect(Loc{Kind: LocDynamic, Desc: "dynamic call of a function value passed to " + calleeName}))
+			}
+		}
+	}
+	return out
+}
+
+// sortedParamIndexes returns the map's keys in increasing order, so
+// per-edge substitution emits effects deterministically.
+func sortedParamIndexes(m map[int]token.Pos) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func (s *Summaries) nodeFor(fn *types.Func) *FuncNode {
+	if n := s.graph.Node(fn); n != nil {
+		return n
+	}
+	return s.graph.Node(fn.Origin())
+}
+
+// sccOrder returns the strongly connected components of the call graph
+// in dependency order (callees before callers), via Tarjan's algorithm
+// with an explicit stack.
+func sccOrder(nodes []*FuncNode) [][]*FuncNode {
+	type state struct {
+		index, lowlink int
+		onStack        bool
+	}
+	states := make(map[*FuncNode]*state, len(nodes))
+	var stack []*FuncNode
+	var sccs [][]*FuncNode
+	next := 0
+
+	type frame struct {
+		n    *FuncNode
+		edge int
+	}
+	for _, root := range nodes {
+		if states[root] != nil {
+			continue
+		}
+		frames := []frame{{n: root}}
+		states[root] = &state{index: next, lowlink: next}
+		next++
+		stack = append(stack, root)
+		states[root].onStack = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			st := states[f.n]
+			if f.edge < len(f.n.Callees) {
+				c := f.n.Callees[f.edge].Callee
+				f.edge++
+				cs := states[c]
+				if cs == nil {
+					states[c] = &state{index: next, lowlink: next, onStack: true}
+					next++
+					stack = append(stack, c)
+					frames = append(frames, frame{n: c})
+				} else if cs.onStack {
+					if cs.index < st.lowlink {
+						st.lowlink = cs.index
+					}
+				}
+				continue
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				ps := states[frames[len(frames)-1].n]
+				if st.lowlink < ps.lowlink {
+					ps.lowlink = st.lowlink
+				}
+			}
+			if st.lowlink == st.index {
+				var scc []*FuncNode
+				for {
+					m := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					states[m].onStack = false
+					scc = append(scc, m)
+					if m == f.n {
+						break
+					}
+				}
+				sccs = append(sccs, scc)
+			}
+		}
+	}
+	return sccs
+}
+
+// ---- per-function direct effects ----
+
+// writeEffect is one direct write with its source position.
+type writeEffect struct {
+	pos token.Pos
+	loc Loc
+}
+
+// funcEffects is the context-sensitive raw material of one function
+// body, before propagation.
+type funcEffects struct {
+	writes      []writeEffect
+	paramWrites map[int][]token.Pos
+	callsParam  map[int][]token.Pos
+	// sites maps a call position to the argument roots at that call,
+	// indexed by callee parameter; missing entries are reference edges.
+	sites map[token.Pos][][]argRoot
+	cold  *allocContext
+}
+
+// Argument/value root kinds.
+const (
+	arPure    = iota // fresh or copied memory: writes through it stay local
+	arLoc            // rooted at a Loc
+	arParam          // rooted at the enclosing function's parameter
+	arFunc           // a named function or method value
+	arFuncLit        // a function literal (body attributed to the caller)
+	arUnknown        // escaping / untrackable
+)
+
+type argRoot struct {
+	kind  int
+	param int
+	loc   Loc
+	fn    *types.Func
+}
+
+type effectsBuilder struct {
+	module *Module
+	graph  *CallGraph
+	node   *FuncNode
+	info   *types.Info
+	fx     *funcEffects
+
+	recv       *types.Var
+	recvNamed  *types.Named
+	recvByPtr  bool
+	params     map[*types.Var]int
+	litParams  map[*types.Var]bool
+	bindings   map[*types.Var][]binding
+	resolving  map[*types.Var]bool
+	writesSeen map[writeEffect]bool
+}
+
+// binding records one reaching definition of a local variable: the
+// bound expression, or — for range bindings — the ranged-over container
+// (whose backing the element values came from).
+type binding struct {
+	expr ast.Expr
+}
+
+// buildEffects scans one declared function body (closures included,
+// attributed to the declaration like the call graph does) into its
+// direct effects.
+func buildEffects(m *Module, graph *CallGraph, n *FuncNode) *funcEffects {
+	if n.Decl == nil || n.Decl.Body == nil {
+		return nil
+	}
+	b := &effectsBuilder{
+		module: m,
+		graph:  graph,
+		node:   n,
+		info:   n.Pkg.Info,
+		fx: &funcEffects{
+			paramWrites: make(map[int][]token.Pos),
+			callsParam:  make(map[int][]token.Pos),
+			sites:       make(map[token.Pos][][]argRoot),
+			cold:        newAllocContext(n.Pkg.Info, n.Decl.Body),
+		},
+		params:     make(map[*types.Var]int),
+		litParams:  make(map[*types.Var]bool),
+		bindings:   make(map[*types.Var][]binding),
+		resolving:  make(map[*types.Var]bool),
+		writesSeen: make(map[writeEffect]bool),
+	}
+	b.collectParams()
+	b.collectBindings(n.Decl.Body)
+	b.scan(n.Decl.Body)
+	return b.fx
+}
+
+// collectParams indexes the declaration's receiver and parameters and
+// the parameters of every closure in the body (whose values come from
+// whoever invokes the closure, so shared writes through them are
+// unknown).
+func (b *effectsBuilder) collectParams() {
+	decl := b.node.Decl
+	if decl.Recv != nil && len(decl.Recv.List) > 0 && len(decl.Recv.List[0].Names) > 0 {
+		if v, ok := b.info.Defs[decl.Recv.List[0].Names[0]].(*types.Var); ok {
+			b.recv = v
+			t := v.Type()
+			if ptr, ok := t.Underlying().(*types.Pointer); ok {
+				b.recvByPtr = true
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				b.recvNamed = named.Origin()
+			}
+		}
+	}
+	i := 0
+	for _, field := range decl.Type.Params.List {
+		if len(field.Names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range field.Names {
+			if v, ok := b.info.Defs[name].(*types.Var); ok {
+				b.params[v] = i
+			}
+			i++
+		}
+	}
+	for _, lit := range funcLitsOf(decl.Body) {
+		for _, field := range lit.Type.Params.List {
+			for _, name := range field.Names {
+				if v, ok := b.info.Defs[name].(*types.Var); ok {
+					b.litParams[v] = true
+				}
+			}
+		}
+	}
+}
+
+// collectBindings records reaching definitions for local variables so
+// value-chain resolution can follow aliases of shared backing stores.
+func (b *effectsBuilder) collectBindings(body *ast.BlockStmt) {
+	bind := func(id ast.Expr, e ast.Expr) {
+		ident, ok := ast.Unparen(id).(*ast.Ident)
+		if !ok || ident.Name == "_" {
+			return
+		}
+		v := b.varOf(ident)
+		if v == nil || v.IsField() || b.isGlobal(v) {
+			return
+		}
+		if _, isParam := b.params[v]; isParam || v == b.recv {
+			return
+		}
+		b.bindings[v] = append(b.bindings[v], binding{expr: e})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			switch {
+			case len(n.Lhs) == len(n.Rhs):
+				for i := range n.Lhs {
+					bind(n.Lhs[i], n.Rhs[i])
+				}
+			case len(n.Rhs) == 1:
+				for i := range n.Lhs {
+					bind(n.Lhs[i], n.Rhs[0])
+				}
+			}
+		case *ast.ValueSpec:
+			switch {
+			case len(n.Names) == len(n.Values):
+				for i := range n.Names {
+					bind(n.Names[i], n.Values[i])
+				}
+			case len(n.Values) == 1:
+				for i := range n.Names {
+					bind(n.Names[i], n.Values[0])
+				}
+			}
+		case *ast.RangeStmt:
+			if n.Key != nil {
+				bind(n.Key, n.X)
+			}
+			if n.Value != nil {
+				bind(n.Value, n.X)
+			}
+		}
+		return true
+	})
+}
+
+// scan walks the body recording direct writes, parameter writes,
+// dynamic/external calls, and call-site argument roots.
+func (b *effectsBuilder) scan(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				b.writeTarget(lhs)
+			}
+		case *ast.IncDecStmt:
+			b.writeTarget(n.X)
+		case *ast.SendStmt:
+			b.attr(n.Pos(), b.roots(n.Chan, true), nil, "channel send")
+		case *ast.RangeStmt:
+			if n.Tok == token.ASSIGN {
+				if n.Key != nil {
+					b.writeTarget(n.Key)
+				}
+				if n.Value != nil {
+					b.writeTarget(n.Value)
+				}
+			}
+		case *ast.CallExpr:
+			b.handleCall(n)
+		}
+		return true
+	})
+}
+
+// writeTarget classifies one assignment target.
+func (b *effectsBuilder) writeTarget(e ast.Expr) {
+	e = ast.Unparen(e)
+	pos := e.Pos()
+	switch e := e.(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return
+		}
+		if v := b.varOf(e); v != nil && b.isGlobal(v) {
+			b.addWrite(pos, globalLoc(v))
+		}
+	case *ast.SelectorExpr:
+		if v, ok := b.info.Uses[e.Sel].(*types.Var); ok && !v.IsField() && b.isGlobal(v) {
+			b.addWrite(pos, globalLoc(v))
+			return
+		}
+		bt := b.typeOf(e.X)
+		if bt == nil {
+			return
+		}
+		if ptr, ok := bt.Underlying().(*types.Pointer); ok {
+			b.pointerFieldWrite(pos, e.X, ptr.Elem(), e.Sel.Name)
+			return
+		}
+		// Field of a value: mutates whatever memory holds the value.
+		b.attr(pos, b.roots(e.X, false), nil, "field write")
+	case *ast.IndexExpr:
+		bt := b.typeOf(e.X)
+		if bt == nil {
+			return
+		}
+		switch bt.Underlying().(type) {
+		case *types.Map, *types.Slice, *types.Pointer:
+			b.attr(pos, b.roots(e.X, true), namedElemFallback(bt), "element write")
+		case *types.Array:
+			b.attr(pos, b.roots(e.X, false), nil, "element write")
+		}
+	case *ast.StarExpr:
+		bt := b.typeOf(e.X)
+		if bt == nil {
+			return
+		}
+		var fallback *Loc
+		if ptr, ok := bt.Underlying().(*types.Pointer); ok {
+			if named := namedOf(ptr.Elem()); named != nil {
+				fallback = fieldLocPtr(named, "*")
+			}
+		}
+		b.attr(pos, b.roots(e.X, true), fallback, "write through pointer")
+	}
+}
+
+// pointerFieldWrite handles x.f = v where x is a pointer. The written
+// memory is field f of the pointee type — that names the Loc — and the
+// base roots matter only for parameter escalation (caller resolves) and
+// for proving the pointee is a fresh local. Keying the write by the
+// pointer's provenance instead (e.g. Flit.Pkt for f.Pkt.LinkHops++)
+// would both misname the mutation and let every write through a pointer
+// field of an allowlisted type hide under that type's wildcard.
+func (b *effectsBuilder) pointerFieldWrite(pos token.Pos, base ast.Expr, elem types.Type, field string) {
+	var fallback *Loc
+	if named := namedOf(elem); named != nil {
+		fallback = fieldLocPtr(named, field)
+	}
+	for _, r := range b.roots(base, true) {
+		switch r.kind {
+		case arPure, arFunc, arFuncLit:
+		case arParam:
+			b.fx.paramWrites[r.param] = append(b.fx.paramWrites[r.param], pos)
+		default:
+			switch {
+			case fallback != nil:
+				b.addWrite(pos, *fallback)
+			case r.kind == arLoc:
+				b.addWrite(pos, r.loc)
+			default:
+				b.addWrite(pos, Loc{Kind: LocDeref, Desc: "write to field " + field + " through escaping pointer"})
+			}
+		}
+	}
+}
+
+// attr records the effects of writing through the given roots: Locs and
+// parameter writes directly, unknown roots via fallback (a type-keyed
+// Loc) when available, LocDeref otherwise.
+func (b *effectsBuilder) attr(pos token.Pos, roots []argRoot, fallback *Loc, what string) {
+	for _, r := range roots {
+		switch r.kind {
+		case arPure, arFunc, arFuncLit:
+		case arLoc:
+			b.addWrite(pos, r.loc)
+		case arParam:
+			b.fx.paramWrites[r.param] = append(b.fx.paramWrites[r.param], pos)
+		default:
+			if fallback != nil {
+				b.addWrite(pos, *fallback)
+			} else {
+				b.addWrite(pos, Loc{Kind: LocDeref, Desc: what + " through escaping pointer"})
+			}
+		}
+	}
+}
+
+func (b *effectsBuilder) addWrite(pos token.Pos, loc Loc) {
+	if b.fx.cold.inCold(pos) {
+		return
+	}
+	w := writeEffect{pos: pos, loc: loc}
+	if b.writesSeen[w] {
+		return
+	}
+	b.writesSeen[w] = true
+	b.fx.writes = append(b.fx.writes, w)
+}
+
+// handleCall records builtin mutations, call-site argument roots for
+// module callees, dynamic calls, and external calls.
+func (b *effectsBuilder) handleCall(call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+	if tv, ok := b.info.Types[fun]; ok && tv.IsType() {
+		return // conversion
+	}
+	pos := call.Pos()
+	if id, ok := fun.(*ast.Ident); ok {
+		if bi, ok := b.info.Uses[id].(*types.Builtin); ok {
+			switch bi.Name() {
+			case "append", "copy", "delete", "close":
+				if len(call.Args) > 0 {
+					bt := b.typeOf(call.Args[0])
+					b.attr(pos, b.roots(call.Args[0], true), namedElemFallback(bt), bi.Name())
+				}
+			}
+			return
+		}
+	}
+	if _, ok := fun.(*ast.FuncLit); ok {
+		return // immediately invoked; body attributed to this node
+	}
+
+	callee := b.staticCallee(fun)
+	if callee == nil {
+		b.dynamicCall(call, fun)
+		return
+	}
+	if iface, ok := callee.Type().(*types.Signature); ok && iface.Recv() != nil {
+		if _, isIface := iface.Recv().Type().Underlying().(*types.Interface); isIface {
+			// Interface dispatch: the graph's edges target every
+			// implementation; record the site for their substitution.
+			b.recordSite(call, fun, callee)
+			return
+		}
+	}
+	if b.nodeOf(callee) != nil {
+		b.recordSite(call, fun, callee)
+		return
+	}
+	b.externalCall(call, fun, callee)
+}
+
+// staticCallee resolves the called function object, if any.
+func (b *effectsBuilder) staticCallee(fun ast.Expr) *types.Func {
+	switch fun := fun.(type) {
+	case *ast.Ident:
+		fn, _ := b.info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := b.info.Uses[fun.Sel].(*types.Func)
+		return fn
+	case *ast.IndexExpr:
+		return b.staticCallee(ast.Unparen(fun.X))
+	case *ast.IndexListExpr:
+		return b.staticCallee(ast.Unparen(fun.X))
+	}
+	return nil
+}
+
+func (b *effectsBuilder) nodeOf(fn *types.Func) *FuncNode {
+	if n := b.graph.Node(fn); n != nil {
+		return n
+	}
+	return b.graph.Node(fn.Origin())
+}
+
+// recordSite stores per-parameter argument roots for a resolvable call,
+// aligned with the callee's Signature.Params indices (method
+// expressions shift the receiver out of the argument list).
+func (b *effectsBuilder) recordSite(call *ast.CallExpr, fun ast.Expr, callee *types.Func) {
+	sig, ok := b.info.Types[ast.Unparen(call.Fun)].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	args := call.Args
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if s, ok := b.info.Selections[sel]; ok && s.Kind() == types.MethodExpr && len(args) > 0 {
+			args = args[1:]
+		}
+	}
+	n := sig.Params().Len()
+	site := make([][]argRoot, n)
+	for i := 0; i < n; i++ {
+		if sig.Variadic() && i == n-1 {
+			// Without ... the variadic backing slice is fresh; pointer
+			// elements written by the callee are type-keyed there.
+			if call.Ellipsis.IsValid() && len(args) == n {
+				site[i] = b.argRootsAt(args[i])
+			}
+			continue
+		}
+		if i < len(args) {
+			site[i] = b.argRootsAt(args[i])
+		}
+	}
+	b.fx.sites[call.Pos()] = site
+}
+
+// argRootsAt resolves one call argument's roots for substitution. For a
+// pointer-valued argument that is not a literal &x, a callee writing
+// through the parameter mutates the POINTEE, not the place the pointer
+// was read from — so type-keyed provenance roots are rewritten to
+// pointee-typed locations (&x arguments already root in the pointee,
+// and parameter/pure roots keep their meaning: the pointee escapes
+// upward or is a fresh local).
+func (b *effectsBuilder) argRootsAt(arg ast.Expr) []argRoot {
+	rts := b.roots(arg, true)
+	if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op == token.AND {
+		return rts
+	}
+	t := b.typeOf(arg)
+	if t == nil {
+		return rts
+	}
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return rts
+	}
+	out := make([]argRoot, 0, len(rts))
+	for _, r := range rts {
+		if r.kind != arLoc {
+			out = append(out, r)
+			continue
+		}
+		if named := namedOf(ptr.Elem()); named != nil {
+			out = append(out, argRoot{kind: arLoc, loc: *fieldLocPtr(named, "*")})
+		} else {
+			out = append(out, argRoot{kind: arUnknown})
+		}
+	}
+	return out
+}
+
+// dynamicCall classifies a call with no static callee: parameter calls
+// are context-dependent; literals and named function values are covered
+// elsewhere; anything else is a dynamic-call unknown.
+func (b *effectsBuilder) dynamicCall(call *ast.CallExpr, fun ast.Expr) {
+	pos := call.Pos()
+	if b.fx.cold.inCold(pos) {
+		return
+	}
+	rs := b.roots(fun, true)
+	resolved := len(rs) > 0
+	for _, r := range rs {
+		switch r.kind {
+		case arFunc, arFuncLit:
+			// The reference edge / inline attribution covers the body.
+		case arParam:
+			b.fx.callsParam[r.param] = append(b.fx.callsParam[r.param], pos)
+		case arPure:
+		default:
+			resolved = false
+		}
+	}
+	if !resolved {
+		b.addWrite(pos, Loc{Kind: LocDynamic, Desc: "call through dynamic function value " + exprLabel(fun)})
+	}
+}
+
+// pureExternal lists out-of-module functions known not to write module-
+// visible state (their arguments included).
+func pureExternal(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	name := fn.Name()
+	switch pkg.Path() {
+	case "math", "math/bits", "unicode", "unicode/utf8", "errors":
+		return true
+	case "strings":
+		return true
+	case "strconv":
+		return !strings.HasPrefix(name, "Append")
+	case "fmt":
+		return strings.HasPrefix(name, "Sprint") || name == "Errorf"
+	case "sort":
+		return strings.HasPrefix(name, "Search") || strings.HasPrefix(name, "IsSorted") ||
+			name == "SliceIsSorted" || strings.HasSuffix(name, "AreSorted")
+	}
+	return false
+}
+
+// externalCall models a call leaving the module: methods may mutate
+// their receiver; functions off the known-pure list may write anything
+// reachable from their arguments.
+func (b *effectsBuilder) externalCall(call *ast.CallExpr, fun ast.Expr, callee *types.Func) {
+	pos := call.Pos()
+	sig, _ := callee.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if sel, ok := fun.(*ast.SelectorExpr); ok {
+			if s, ok := b.info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+				bt := b.typeOf(sel.X)
+				b.attr(pos, b.roots(sel.X, true), namedElemFallback(bt), "mutating method "+callee.Name())
+			}
+		}
+		return
+	}
+	if pureExternal(callee) {
+		return
+	}
+	b.addWrite(pos, Loc{Kind: LocExternal, Desc: "call to " + funcDisplay(callee)})
+}
+
+// ---- value-chain root resolution ----
+
+// roots resolves which memory a write through e can reach. shared is
+// true when the write goes through a reference (slice/map/chan/pointer
+// backing): copies of reference values still share their backing, so
+// parameter and receiver bases stay attributable. With shared false the
+// write lands inside the value itself, and local/parameter/receiver
+// copies make it pure.
+func (b *effectsBuilder) roots(e ast.Expr, shared bool) []argRoot {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		return b.identRoots(e, shared)
+	case *ast.SelectorExpr:
+		if v, ok := b.info.Uses[e.Sel].(*types.Var); ok && !v.IsField() && b.isGlobal(v) {
+			return []argRoot{{kind: arLoc, loc: globalLoc(v)}}
+		}
+		if fn, ok := b.info.Uses[e.Sel].(*types.Func); ok {
+			return []argRoot{{kind: arFunc, fn: fn}}
+		}
+		bt := b.typeOf(e.X)
+		if bt == nil {
+			return []argRoot{{kind: arUnknown}}
+		}
+		if ptr, ok := bt.Underlying().(*types.Pointer); ok {
+			if named := namedOf(ptr.Elem()); named != nil {
+				return []argRoot{{kind: arLoc, loc: fieldLoc(named, e.Sel.Name)}}
+			}
+			return []argRoot{{kind: arUnknown}}
+		}
+		return b.roots(e.X, shared)
+	case *ast.IndexExpr:
+		if fn := b.staticCallee(e); fn != nil {
+			return []argRoot{{kind: arFunc, fn: fn}} // generic instantiation
+		}
+		return b.containerRoots(e.X, shared)
+	case *ast.IndexListExpr:
+		if fn := b.staticCallee(e); fn != nil {
+			return []argRoot{{kind: arFunc, fn: fn}}
+		}
+		return []argRoot{{kind: arUnknown}}
+	case *ast.SliceExpr:
+		return b.containerRoots(e.X, shared)
+	case *ast.StarExpr:
+		bt := b.typeOf(e.X)
+		if bt != nil {
+			if ptr, ok := bt.Underlying().(*types.Pointer); ok {
+				if named := namedOf(ptr.Elem()); named != nil {
+					return []argRoot{{kind: arLoc, loc: fieldLoc(named, "*")}}
+				}
+			}
+		}
+		return b.roots(e.X, true)
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.AND:
+			// &x aliases x's own storage: resolve as a write into x.
+			return b.roots(e.X, false)
+		case token.ARROW:
+			return []argRoot{{kind: arUnknown}}
+		default:
+			return nil // arithmetic yields a fresh value
+		}
+	case *ast.TypeAssertExpr:
+		return b.roots(e.X, shared)
+	case *ast.CallExpr:
+		fun := ast.Unparen(e.Fun)
+		if tv, ok := b.info.Types[fun]; ok && tv.IsType() {
+			if len(e.Args) == 1 {
+				return b.roots(e.Args[0], shared)
+			}
+			return nil
+		}
+		if id, ok := fun.(*ast.Ident); ok {
+			if bi, ok := b.info.Uses[id].(*types.Builtin); ok {
+				switch bi.Name() {
+				case "append":
+					if len(e.Args) > 0 {
+						return b.roots(e.Args[0], true)
+					}
+					return nil
+				case "make", "new", "min", "max", "len", "cap", "abs":
+					return nil
+				}
+				return nil
+			}
+		}
+		return []argRoot{{kind: arUnknown}}
+	case *ast.FuncLit:
+		return []argRoot{{kind: arFuncLit}}
+	case *ast.CompositeLit, *ast.BasicLit:
+		return nil // fresh value
+	}
+	return []argRoot{{kind: arUnknown}}
+}
+
+// containerRoots resolves the base of an index/slice expression:
+// slice/map/pointer bases cross a reference boundary (their backing is
+// shared no matter how the value got here); array bases stay inside the
+// value.
+func (b *effectsBuilder) containerRoots(x ast.Expr, shared bool) []argRoot {
+	bt := b.typeOf(x)
+	if bt == nil {
+		return []argRoot{{kind: arUnknown}}
+	}
+	switch bt.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan:
+		return b.roots(x, true)
+	case *types.Array:
+		return b.roots(x, shared)
+	}
+	return nil // strings etc.
+}
+
+// identRoots resolves a bare identifier base.
+func (b *effectsBuilder) identRoots(id *ast.Ident, shared bool) []argRoot {
+	if fn, ok := b.info.Uses[id].(*types.Func); ok {
+		return []argRoot{{kind: arFunc, fn: fn}}
+	}
+	v := b.varOf(id)
+	if v == nil {
+		return nil // nil, iota, ...
+	}
+	if b.isGlobal(v) {
+		return []argRoot{{kind: arLoc, loc: globalLoc(v)}}
+	}
+	if v == b.recv {
+		if !shared && !b.recvByPtr {
+			return nil // value receiver copy
+		}
+		if b.recvNamed != nil {
+			return []argRoot{{kind: arLoc, loc: fieldLoc(b.recvNamed, "*")}}
+		}
+		return []argRoot{{kind: arUnknown}}
+	}
+	if i, ok := b.params[v]; ok {
+		if !shared {
+			return nil // parameter copy
+		}
+		return []argRoot{{kind: arParam, param: i}}
+	}
+	if b.litParams[v] {
+		if !shared {
+			return nil
+		}
+		return []argRoot{{kind: arUnknown}}
+	}
+	if !shared {
+		return nil // writes into a local copy stay local
+	}
+	// Local: union of its reaching definitions, cycle-guarded.
+	if b.resolving[v] {
+		return nil
+	}
+	b.resolving[v] = true
+	defer delete(b.resolving, v)
+	var out []argRoot
+	for _, bd := range b.bindings[v] {
+		out = append(out, b.roots(bd.expr, true)...)
+	}
+	return dedupeRoots(out)
+}
+
+func dedupeRoots(rs []argRoot) []argRoot {
+	if len(rs) < 2 {
+		return rs
+	}
+	seen := make(map[argRoot]bool, len(rs))
+	out := rs[:0]
+	for _, r := range rs {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// ---- small helpers ----
+
+func (b *effectsBuilder) typeOf(e ast.Expr) types.Type {
+	if tv, ok := b.info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+func (b *effectsBuilder) varOf(id *ast.Ident) *types.Var {
+	if v, ok := b.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := b.info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func (b *effectsBuilder) isGlobal(v *types.Var) bool {
+	return !v.IsField() && v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+func globalLoc(v *types.Var) Loc {
+	pkg := ""
+	if v.Pkg() != nil {
+		pkg = v.Pkg().Path()
+	}
+	return Loc{Kind: LocGlobal, Pkg: pkg, Field: v.Name()}
+}
+
+func fieldLoc(named *types.Named, field string) Loc {
+	obj := named.Origin().Obj()
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	return Loc{Kind: LocField, Pkg: pkg, Type: obj.Name(), Field: field}
+}
+
+func fieldLocPtr(named *types.Named, field string) *Loc {
+	l := fieldLoc(named, field)
+	return &l
+}
+
+// namedOf unwraps t to its named type, if any (instantiated generics
+// resolve to their origin so Delay[*Flit] and Delay[Credit] share Locs).
+func namedOf(t types.Type) *types.Named {
+	if named, ok := t.(*types.Named); ok {
+		return named.Origin()
+	}
+	return nil
+}
+
+// namedElemFallback gives the type-keyed element Loc for a named
+// container type, used when root resolution comes up unknown.
+func namedElemFallback(t types.Type) *Loc {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named := namedOf(t); named != nil {
+		return fieldLocPtr(named, "*")
+	}
+	return nil
+}
+
+// coldAt reports whether a node's body context marks pos cold, nil-safe
+// for bodiless nodes.
+func (fx *funcEffects) coldAt(pos token.Pos) bool {
+	return fx != nil && fx.cold.inCold(pos)
+}
+
+// exprLabel renders a short label for dynamic-call diagnostics.
+func exprLabel(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprLabel(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprLabel(e.X) + "[...]"
+	case *ast.CallExpr:
+		return exprLabel(e.Fun) + "(...)"
+	}
+	return "expression"
+}

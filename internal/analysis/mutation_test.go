@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"testing"
+)
+
+// purityNode resolves one fixture function in the module's call graph.
+func purityNode(t *testing.T, m *Module, recv, fn string) *FuncNode {
+	t.Helper()
+	n := findRoot(m.Graph(), RootSpec{Pkg: "flov/internal/purefix", Recv: recv, Func: fn})
+	if n == nil {
+		t.Fatalf("%s.%s not in call graph", recv, fn)
+	}
+	return n
+}
+
+// summaryKeys renders a propagated summary's write set as allowlist
+// keys.
+func summaryKeys(s *Summary) map[string]bool {
+	keys := make(map[string]bool, len(s.Writes))
+	for loc := range s.Writes {
+		keys[loc.Key()] = true
+	}
+	return keys
+}
+
+// TestMutationSummaryParamWrites pins the context-dependent half of a
+// summary: a write through a pointer parameter is recorded against the
+// parameter index, not as a concrete location.
+func TestMutationSummaryParamWrites(t *testing.T) {
+	m, _ := loadPurityModule(t)
+	sums := NewSummaries(m, nil)
+
+	scribble := sums.Of(purityNode(t, m, "", "scribble"))
+	if scribble == nil {
+		t.Fatal("no summary for scribble")
+	}
+	if len(scribble.Writes) != 0 {
+		t.Errorf("scribble has no concrete writes, got %v", scribble.Writes)
+	}
+	if _, ok := scribble.ParamWrites[0]; !ok {
+		t.Errorf("scribble must record a write through parameter 0, got %v", scribble.ParamWrites)
+	}
+
+	// Receivers are type-keyed, never parameters: TickShared's only
+	// parameter write is through out (index 0), and its receiver field
+	// write lands in Writes.
+	shared := sums.Of(purityNode(t, m, "Machine", "TickShared"))
+	if _, ok := shared.ParamWrites[0]; !ok {
+		t.Errorf("TickShared must record a write through parameter 0, got %v", shared.ParamWrites)
+	}
+}
+
+// TestMutationSummaryPropagation checks bottom-up propagation: the
+// TickSleep summary must contain every location its transitive callees
+// can write, resolved through pointer params, interface dispatch and
+// closure capture.
+func TestMutationSummaryPropagation(t *testing.T) {
+	m, _ := loadPurityModule(t)
+	sums := NewSummaries(m, nil)
+	keys := summaryKeys(sums.Of(purityNode(t, m, "Machine", "TickSleep")))
+
+	for _, want := range []string{
+		"flov/internal/purefix.Machine.ticks", // direct receiver field
+		"flov/internal/purefix.Counter.N",     // through the shared pointer
+		"flov/internal/purefix.Counter.ByKey", // map element write
+		"flov/internal/purefix.Global",        // package-level state
+		"flov/internal/purefix.Impl.hits",     // via interface dispatch
+		"flov/internal/purefix.Hidden",        // via wake, not excluded here
+		"flov/internal/purefix.Counter.*",     // bump's param write at the call site
+	} {
+		if !keys[want] {
+			t.Errorf("TickSleep summary missing %s; have %v", want, keys)
+		}
+	}
+}
+
+// TestMutationSummaryExclusion checks that excluding the wake boundary
+// keeps its writes out of every summary that reaches it.
+func TestMutationSummaryExclusion(t *testing.T) {
+	m, _ := loadPurityModule(t)
+	wake := purityNode(t, m, "Machine", "wake")
+	sums := NewSummaries(m, map[*FuncNode]bool{wake: true})
+
+	keys := summaryKeys(sums.Of(purityNode(t, m, "Machine", "TickSleep")))
+	if keys["flov/internal/purefix.Hidden"] {
+		t.Error("excluded boundary write leaked into TickSleep's summary")
+	}
+	if !keys["flov/internal/purefix.Counter.N"] {
+		t.Error("exclusion must not drop unrelated writes")
+	}
+	// The boundary's own summary still exists; only edges into it are
+	// cut.
+	if !summaryKeys(sums.Of(wake))["flov/internal/purefix.Hidden"] {
+		t.Error("wake's own summary must keep its write")
+	}
+}
+
+// TestLocKeyAndString pins the two renderings the allowlist and the
+// diagnostics depend on.
+func TestLocKeyAndString(t *testing.T) {
+	f := Loc{Kind: LocField, Pkg: "flov/internal/core", Type: "flovRouter", Field: "latch"}
+	if f.Key() != "flov/internal/core.flovRouter.latch" {
+		t.Errorf("field key = %s", f.Key())
+	}
+	if f.String() != "core.flovRouter.latch" {
+		t.Errorf("field string = %s", f.String())
+	}
+	g := Loc{Kind: LocGlobal, Pkg: "flov/internal/purefix", Field: "Global"}
+	if g.Key() != "flov/internal/purefix.Global" {
+		t.Errorf("global key = %s", g.Key())
+	}
+	d := Loc{Kind: LocDeref, Desc: "write through escaping pointer"}
+	if d.Key() != d.Desc || d.String() != d.Desc {
+		t.Errorf("deref key/string = %s / %s", d.Key(), d.String())
+	}
+}

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadPurityModule mounts the purity fixture as an in-module package
+// and configures the fixture's roots, allowlist and boundary.
+func loadPurityModule(t *testing.T) (*Module, string) {
+	t.Helper()
+	const path = "flov/internal/purefix"
+	loader := newDirLoader(t, map[string]string{path: "purity"})
+	if _, err := loader.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	m := NewModule(loader.ModulePath, loader.Fset, loader.Packages())
+	m.PureRoots = []RootSpec{
+		{Pkg: path, Recv: "Machine", Func: "TickSleep"},
+		{Pkg: path, Recv: "Machine", Func: "TickShared"},
+	}
+	m.PureAllow = []string{"flov/internal/purefix.Machine.*"}
+	m.PureBoundaries = []RootSpec{{Pkg: path, Recv: "Machine", Func: "wake"}}
+	dir, err := filepath.Abs(filepath.Join("testdata", "purity"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, dir
+}
+
+// TestPurityFixture checks every escape hatch of the mutation-summary
+// engine against the marked violations in testdata/purity: direct field
+// writes, slice/map element writes, pointer-parameter writes resolved
+// at call sites, interface dispatch, closure capture, function-value
+// calls, the assume marker with and without a reason, and the declared
+// wake boundary staying silent.
+func TestPurityFixture(t *testing.T) {
+	m, dir := loadPurityModule(t)
+
+	got := make(map[finding]int)
+	for _, d := range RunModule(m, []*ModuleAnalyzer{PurityAnalyzer}) {
+		got[finding{filepath.Base(d.Pos.Filename), d.Pos.Line, d.Rule}]++
+	}
+
+	want := wantFindings(t, dir)
+	for f, n := range want {
+		if f.rule != "purity" {
+			continue
+		}
+		if got[f] != n {
+			t.Errorf("%s:%d: want %d %s finding(s), got %d", f.file, f.line, n, f.rule, got[f])
+		}
+	}
+	for f, n := range got {
+		if want[f] == 0 {
+			t.Errorf("%s:%d: unexpected %s finding (x%d)", f.file, f.line, f.rule, n)
+		}
+	}
+}
+
+// TestPurityFindingMessages pins the user-facing shape of one finding:
+// the mutated location and the call chain from the root.
+func TestPurityFindingMessages(t *testing.T) {
+	m, _ := loadPurityModule(t)
+	diags := RunModule(m, []*ModuleAnalyzer{PurityAnalyzer})
+
+	var sawChain, sawParam bool
+	for _, d := range diags {
+		if strings.Contains(d.Msg, "write to purefix.Counter.N") &&
+			strings.Contains(d.Msg, "pure root flov/internal/purefix.Machine.TickSleep") {
+			sawChain = true
+		}
+		if strings.Contains(d.Msg, "writes through one of its parameters") &&
+			strings.Contains(d.Msg, "Machine.TickShared") {
+			sawParam = true
+		}
+	}
+	if !sawChain {
+		t.Error("no finding names both purefix.Counter.N and the TickSleep root")
+	}
+	if !sawParam {
+		t.Error("no finding reports TickShared's parameter write")
+	}
+}
+
+// TestPurityStaleRoot checks that a root spec naming a function that no
+// longer exists fails loudly instead of silently proving nothing.
+func TestPurityStaleRoot(t *testing.T) {
+	m, _ := loadPurityModule(t)
+	m.PureRoots = []RootSpec{{Pkg: "flov/internal/purefix", Recv: "Machine", Func: "Vanished"}}
+	diags := RunModule(m, []*ModuleAnalyzer{PurityAnalyzer})
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "purity root") ||
+		!strings.Contains(diags[0].Msg, "not found") {
+		t.Fatalf("want one stale-root diagnostic, got %v", diags)
+	}
+}
+
+// TestPurityStaleBoundary checks the same contract for the boundary
+// list, using the finding-free TickQuiet root so the only diagnostic is
+// the stale boundary itself.
+func TestPurityStaleBoundary(t *testing.T) {
+	m, _ := loadPurityModule(t)
+	m.PureRoots = []RootSpec{{Pkg: "flov/internal/purefix", Recv: "Machine", Func: "TickQuiet"}}
+	m.PureBoundaries = []RootSpec{{Pkg: "flov/internal/purefix", Recv: "Machine", Func: "gone"}}
+	diags := RunModule(m, []*ModuleAnalyzer{PurityAnalyzer})
+	if len(diags) != 1 || !strings.Contains(diags[0].Msg, "purity boundary") ||
+		!strings.Contains(diags[0].Msg, "not found") {
+		t.Fatalf("want one stale-boundary diagnostic, got %v", diags)
+	}
+}
+
+// TestDefaultPurityRootsResolve loads the real simulator packages and
+// checks every built-in purity root and boundary still names a live
+// function — the guard against the lists rotting as the code moves.
+func TestDefaultPurityRootsResolve(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := append(DefaultPurityRoots(), DefaultPurityBoundaries()...)
+	for _, spec := range specs {
+		if _, err := loader.Load(spec.Pkg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := NewModule(loader.ModulePath, loader.Fset, loader.Packages())
+	g := m.Graph()
+	for _, spec := range specs {
+		if findRoot(g, spec) == nil {
+			t.Errorf("default purity spec %s does not resolve", spec)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+)
+
+// purityUnitDiags produces real purity and unitsafe findings from the
+// fixtures, so the reporting round-trips below exercise the actual rule
+// names, file paths, and message shapes.
+func purityUnitDiags(t *testing.T) ([]Diagnostic, string) {
+	t.Helper()
+	m, _ := loadPurityModule(t)
+	diags := RunModule(m, []*ModuleAnalyzer{PurityAnalyzer})
+	diags = append(diags, RunModule(loadUnitfixModule(t), []*ModuleAnalyzer{UnitsafeAnalyzer})...)
+	byRule := map[string]int{}
+	for _, d := range diags {
+		byRule[d.Rule]++
+	}
+	if byRule["purity"] == 0 || byRule["unitsafe"] == 0 {
+		t.Fatalf("fixtures should yield both rules, got %v", byRule)
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags, root
+}
+
+// TestPurityUnitsafeJSONRoundTrip renders the fixture findings as JSON
+// and checks rule, module-relative file, and message survive.
+func TestPurityUnitsafeJSONRoundTrip(t *testing.T) {
+	diags, root := purityUnitDiags(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, root, diags); err != nil {
+		t.Fatal(err)
+	}
+	var got []JSONFinding
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(diags) {
+		t.Fatalf("want %d findings, got %d", len(diags), len(got))
+	}
+	for i, f := range got {
+		if f.Rule != diags[i].Rule || f.Message != diags[i].Msg {
+			t.Errorf("finding %d mangled: %+v vs %+v", i, f, diags[i])
+		}
+		if filepath.IsAbs(f.File) {
+			t.Errorf("finding %d file should be module-relative: %s", i, f.File)
+		}
+	}
+}
+
+// TestPurityUnitsafeSARIF checks the SARIF log carries descriptors for
+// both rules and results in the right fixture files.
+func TestPurityUnitsafeSARIF(t *testing.T) {
+	diags, root := purityUnitDiags(t)
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, root, diags); err != nil {
+		t.Fatal(err)
+	}
+	var log struct {
+		Runs []struct {
+			Tool struct {
+				Driver struct {
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for _, r := range log.Runs[0].Tool.Driver.Rules {
+		ids[r.ID] = true
+	}
+	if !ids["purity"] || !ids["unitsafe"] {
+		t.Fatalf("SARIF rule metadata missing the new rules: %v", ids)
+	}
+	seen := map[string]bool{}
+	for _, r := range log.Runs[0].Results {
+		seen[r.RuleID] = true
+		if len(r.Locations) != 1 {
+			t.Errorf("result %s missing location", r.RuleID)
+			continue
+		}
+		uri := r.Locations[0].PhysicalLocation.ArtifactLocation.URI
+		switch r.RuleID {
+		case "purity":
+			if filepath.Base(uri) != "purefix.go" {
+				t.Errorf("purity result should sit in purefix.go, got %s", uri)
+			}
+		case "unitsafe":
+			if filepath.Base(uri) != "unitfix.go" {
+				t.Errorf("unitsafe result should sit in unitfix.go, got %s", uri)
+			}
+		}
+	}
+	if !seen["purity"] || !seen["unitsafe"] {
+		t.Fatalf("SARIF results missing a rule: %v", seen)
+	}
+}
+
+// TestPurityUnitsafeBaseline acknowledges the fixture findings, then
+// checks line moves stay acknowledged and a reworded finding surfaces
+// fresh.
+func TestPurityUnitsafeBaseline(t *testing.T) {
+	diags, root := purityUnitDiags(t)
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, root, diags); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	moved := append([]Diagnostic(nil), diags...)
+	for i := range moved {
+		moved[i].Pos.Line += 100
+	}
+	fresh, stale := ApplyBaseline(b, root, moved)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("line moves should not disturb matching: fresh=%v stale=%v", fresh, stale)
+	}
+
+	next := append([]Diagnostic(nil), diags...)
+	for i := range next {
+		if next[i].Rule == "unitsafe" {
+			next[i].Msg = "entirely new unitsafe finding"
+			break
+		}
+	}
+	fresh, stale = ApplyBaseline(b, root, next)
+	if len(fresh) != 1 || fresh[0].Rule != "unitsafe" {
+		t.Errorf("want the reworded unitsafe finding fresh, got %v", fresh)
+	}
+	if len(stale) != 1 {
+		t.Errorf("want the original unitsafe entry stale, got %v", stale)
+	}
+}

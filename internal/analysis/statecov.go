@@ -242,43 +242,7 @@ func coveredFields(m *Module, graph *CallGraph) map[string]bool {
 // //flovlint:allow, a skip covers its own line (trailing comment) and
 // the line below (comment above the declaration).
 func collectSkips(m *Module) map[string]map[int]skipEntry {
-	skips := make(map[string]map[int]skipEntry)
-	for _, pkg := range m.Packages {
-		for _, f := range pkg.Files {
-			for _, cg := range f.Comments {
-				for _, c := range cg.List {
-					// The marker may trail a doc comment on the same line
-					// ("// offered load //flovsnap:skip immutable"), so
-					// search anywhere in the comment text.
-					idx := strings.Index(c.Text, skipMarker)
-					if idx < 0 {
-						continue
-					}
-					rest := c.Text[idx+len(skipMarker):]
-					// Require a clean token boundary so e.g. a hypothetical
-					// //flovsnap:skipnot marker is not misread.
-					if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-						continue
-					}
-					// The reason runs to the end of the comment or to a
-					// nested "//" (fixture want-markers, editor folds).
-					if cut := strings.Index(rest, "//"); cut >= 0 {
-						rest = rest[:cut]
-					}
-					pos := m.Fset.Position(c.Pos())
-					byLine := skips[pos.Filename]
-					if byLine == nil {
-						byLine = make(map[int]skipEntry)
-						skips[pos.Filename] = byLine
-					}
-					e := skipEntry{reason: strings.TrimSpace(rest), pos: c.Pos()}
-					byLine[pos.Line] = e
-					byLine[pos.Line+1] = e
-				}
-			}
-		}
-	}
-	return skips
+	return collectMarkerComments(m, skipMarker)
 }
 
 // skipAt looks up a //flovsnap:skip entry covering the given position.

@@ -1,0 +1,108 @@
+// Package purefix exercises the purity analyzer: TickSleep and
+// TickShared are declared pure roots whose allowlist covers only
+// Machine's own fields, wake is a declared boundary, and every escape
+// hatch of the mutation-summary engine appears once, marked with the
+// finding it must produce.
+package purefix
+
+// Counter is shared state outside the allowlist; any write reaching it
+// from a root is impure.
+type Counter struct {
+	N     int
+	Elems []int
+	ByKey map[string]int
+}
+
+// Mutator is dispatched through an interface from the root.
+type Mutator interface{ Mutate() }
+
+// Impl is the module's only Mutator; closed-world dispatch must find
+// its write.
+type Impl struct{ hits int }
+
+// Mutate is reached from TickSleep via interface dispatch.
+func (i *Impl) Mutate() {
+	i.hits++ // want purity
+}
+
+// Global is package-level state: always impure.
+var Global int
+
+// Hidden is written only behind the wake boundary; the walk must not
+// reach it.
+var Hidden int
+
+// Machine is the fixture's gated router stand-in. Its own fields are
+// allowlisted via purefix.Machine.*.
+type Machine struct {
+	ticks  int
+	shared *Counter
+	sink   Mutator
+	cb     func()
+}
+
+// TickSleep is the primary pure root.
+func (m *Machine) TickSleep() {
+	m.ticks++ // allowed: Machine's own field
+
+	m.shared.N++            // want purity
+	m.shared.Elems[0] = 2   // want purity
+	m.shared.ByKey["x"] = 1 // want purity
+
+	scribble(&m.ticks) // allowed: the pointee is Machine.ticks
+	scribble(&Global)  // want purity
+
+	bump(m.shared) // want purity
+
+	m.sink.Mutate() // finding lands at the write inside Impl.Mutate
+
+	invoke(m.cb) // want purity
+
+	hook := func() {
+		Global = 3 // want purity
+	}
+	hook()
+
+	m.shared.N = 0 //flovpure:assume reset is replayed from the wake log on exit
+
+	Global = 4 //flovpure:assume // want purity
+
+	if m.ticks > 5 {
+		m.wake() // boundary: Hidden write must stay silent
+	}
+}
+
+// TickShared is a root that writes through its own parameter — nothing
+// above the root can vouch for where out points.
+func (m *Machine) TickShared(out *int) {
+	*out = m.ticks // want purity
+}
+
+// TickQuiet is a root with no findings at all, for the stale-boundary
+// test.
+func (m *Machine) TickQuiet() {
+	m.ticks++
+}
+
+// wake is the declared boundary: its write is the legitimate end of
+// quiescence.
+func (m *Machine) wake() {
+	Hidden = 1
+}
+
+// scribble writes through its pointer parameter; impurity depends on
+// what each call site binds.
+func scribble(p *int) {
+	*p = 7
+}
+
+// bump writes through its pointer parameter; the finding lands at each
+// call site, keyed by the pointee type the argument dereferences to.
+func bump(c *Counter) {
+	c.N += 2
+}
+
+// invoke calls a function value passed in by its caller.
+func invoke(h func()) {
+	h()
+}

@@ -1,0 +1,82 @@
+// Package unitfix exercises the unitsafe analyzer: two tagged unit
+// types and one instance of every way a dimensional error can slip
+// past Go's nominal typing, marked with the finding it must produce,
+// next to the explicit forms that must stay silent.
+package unitfix
+
+// PJ is the fixture's energy unit.
+type PJ float64 //flovunit pJ
+
+// W is the fixture's power unit.
+type W float64 //flovunit W
+
+// EFixPJ is a typed package-level constant: the declaration is the
+// attachment.
+const EFixPJ PJ = 1.30
+
+// frac is a dimensionless scale factor.
+const frac = 0.01
+
+// Table is package-level calibration data: raw constants allowed.
+var Table = []PJ{1.5, 2.5}
+
+// Budget has a unit-typed field for the composite-literal sink.
+type Budget struct {
+	Limit PJ
+}
+
+func consume(p PJ) {}
+
+func report(f float64) {}
+
+// toPJ legitimately crosses dimensions and says so.
+//
+//flovunit:convert fixture W·cycles/Hz dimension crossing
+func toPJ(w W, cycles float64) PJ {
+	return PJ(float64(w) * cycles * 1e12)
+}
+
+//flovunit:convert // want unitsafe
+func reasonless(w W) float64 {
+	return float64(w)
+}
+
+// Bad collects the findings.
+func Bad(p PJ, w W) {
+	mixed := float64(p) + float64(w) // want unitsafe
+	report(mixed)
+
+	q := p + 1.5 // want unitsafe
+	var total PJ
+	total = 2.5 // want unitsafe
+	consume(total + q)
+
+	raw := float64(p) * 2 // want unitsafe
+	report(raw)
+
+	wrong := PJ(w) // want unitsafe
+	consume(wrong)
+
+	b := Budget{Limit: 9.5} // want unitsafe
+	consume(b.Limit)
+
+	consume(4.5) // want unitsafe
+}
+
+func leak() PJ {
+	return 6.5 // want unitsafe
+}
+
+// Good collects the explicit forms that must stay silent.
+func Good(p PJ, w W) {
+	ok1 := PJ(1.5)
+	scaled := p * 2
+	scaled2 := p * (1 + frac)
+	var ok3 PJ = 3.5
+	var zero PJ
+	zero = 0
+	consume(ok1 + scaled + scaled2 + ok3 + zero)
+	consume(toPJ(w, 1000))
+	consume(EFixPJ)
+	consume(Table[0])
+}

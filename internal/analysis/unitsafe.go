@@ -1,0 +1,367 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// UnitsafeAnalyzer is a units-of-measure lint for the energy model. A
+// numeric named type tagged `//flovunit <dim>` (internal/power's
+// Picojoules, Watts, Hertz) becomes a unit type, and the analyzer flags
+// the ways a dimensional error can still slip past Go's nominal typing:
+//
+//   - arithmetic or comparison mixing two distinct unit types (Go
+//     rejects most of these itself; constants and conversions reopen
+//     the hole);
+//   - a conversion rebranding one unit as another — Watts(pj) — or
+//     carrying a unit-rooted value even when laundered through float64;
+//   - a conversion erasing a unit back to a raw numeric type;
+//   - a raw untyped constant adopting a unit type implicitly (the
+//     `* 1e12` class of bug): assignment to a unit-typed variable,
+//     a unit-typed call argument, return value or composite-lit field.
+//
+// Explicitness is the escape everywhere: `Picojoules(2.5)` and
+// `const EBufWritePJ Picojoules = 1.30` attach a unit deliberately and
+// are fine, as are dimensionless scale factors in multiplication and
+// division (`w * (1 + HSCOverheadFrac)`) and zero. Package-level
+// const/var blocks are calibration data and exempt from the raw-
+// constant rule only. Functions that genuinely cross dimensions —
+// Watts·cycles/Hertz → Picojoules — carry `//flovunit:convert <reason>`
+// on the declaration, which exempts the body; the reason is mandatory.
+var UnitsafeAnalyzer = &ModuleAnalyzer{
+	Name: "unitsafe",
+	Doc:  "flag arithmetic mixing unit types and raw values crossing unit boundaries",
+	Run:  runUnitsafe,
+}
+
+const (
+	// unitMarker tags a named numeric type as a unit: //flovunit pJ
+	unitMarker = "//flovunit"
+	// convertMarker marks a declared conversion helper whose body may
+	// cross dimensions: //flovunit:convert <reason>
+	convertMarker = "//flovunit:convert"
+)
+
+func runUnitsafe(p *ModulePass) {
+	m := p.Module
+	tags := collectMarkerComments(m, unitMarker)
+	convs := collectMarkerComments(m, convertMarker)
+
+	units := make(map[*types.TypeName]string)
+	for _, pkg := range m.Packages {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() { // Names is sorted
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			basic, ok := tn.Type().Underlying().(*types.Basic)
+			if !ok || basic.Info()&types.IsNumeric == 0 {
+				continue
+			}
+			if e, ok := skipAt(m.Fset, tags, tn.Pos()); ok {
+				label := e.reason
+				if label == "" {
+					label = tn.Name()
+				}
+				units[tn] = label
+			}
+		}
+	}
+	if len(units) == 0 {
+		return // nothing unit-tagged in this load set
+	}
+
+	u := &unitScanner{
+		p:        p,
+		units:    units,
+		claimed:  make(map[ast.Node]bool),
+		attachOK: make(map[ast.Expr]bool),
+	}
+	for _, pkg := range m.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if e, ok := skipAt(m.Fset, convs, d.Pos()); ok {
+						if e.reason == "" {
+							p.Reportf(e.pos, "%s needs a reason", convertMarker)
+						}
+						continue // helper body is exempt
+					}
+					if d.Body != nil {
+						u.scan(pkg, d.Body, false)
+					}
+				case *ast.GenDecl:
+					// Package-level const/var blocks are calibration data:
+					// raw constants allowed, unit mixing still checked.
+					for _, spec := range d.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok {
+							u.scan(pkg, vs, true)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+type unitScanner struct {
+	p     *ModulePass
+	units map[*types.TypeName]string
+	// claimed marks subtrees a finding (or an allowance) already covers,
+	// so one expression yields one finding.
+	claimed map[ast.Node]bool
+	// attachOK marks the top value expression of an explicitly
+	// unit-typed var/const declaration: the declaration is the
+	// attachment.
+	attachOK map[ast.Expr]bool
+}
+
+// scan walks one declaration body or value spec. rawOK exempts the
+// raw-constant rule (package-level calibration blocks).
+func (u *unitScanner) scan(pkg *Package, root ast.Node, rawOK bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if u.claimed[n] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				if tv, ok := pkg.Info.Types[n.Type]; ok && u.unitOf(tv.Type) != nil {
+					for _, v := range n.Values {
+						u.attachOK[v] = true
+					}
+				}
+			}
+		case *ast.BinaryExpr:
+			if !rawOK {
+				u.rawConst(pkg, n)
+				if u.claimed[n] {
+					return false
+				}
+			}
+			u.binop(pkg, n)
+		case *ast.CallExpr:
+			u.conversion(pkg, n)
+			if u.claimed[n] {
+				return false
+			}
+		default:
+			if e, ok := n.(ast.Expr); ok && !rawOK {
+				u.rawConst(pkg, e)
+				if u.claimed[n] {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// binop flags arithmetic and comparisons whose operands root in two
+// distinct units, and allows dimensionless constant scale factors in
+// multiplicative positions.
+func (u *unitScanner) binop(pkg *Package, n *ast.BinaryExpr) {
+	switch n.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO, token.REM,
+		token.EQL, token.NEQ, token.LSS, token.GTR, token.LEQ, token.GEQ:
+	default:
+		return
+	}
+	lu := u.rootUnit(pkg, n.X)
+	ru := u.rootUnit(pkg, n.Y)
+	if lu != nil && ru != nil && lu != ru {
+		u.p.Reportf(n.OpPos, "arithmetic mixes %s and %s; cross dimensions in a %s helper",
+			u.display(lu), u.display(ru), convertMarker)
+		u.claim(n.X)
+		u.claim(n.Y)
+		return
+	}
+	if n.Op == token.MUL || n.Op == token.QUO {
+		// A dimensionless constant scale factor keeps the dimension:
+		// w * (1 + HSCOverheadFrac) is fine; w + 0.1 is not.
+		if lu != nil && ru == nil && isConstExpr(pkg, n.Y) {
+			u.claim(n.Y)
+		}
+		if ru != nil && lu == nil && isConstExpr(pkg, n.X) {
+			u.claim(n.X)
+		}
+	}
+}
+
+// conversion checks T(x) conversions: rebranding one unit as another
+// and erasing a unit into a plain numeric type are findings; attaching
+// a unit to a constant or a raw value is the legitimate explicit form.
+func (u *unitScanner) conversion(pkg *Package, call *ast.CallExpr) {
+	fun := ast.Unparen(call.Fun)
+	tv, ok := pkg.Info.Types[fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	arg := call.Args[0]
+	target := u.unitOf(tv.Type)
+	ru := u.rootUnit(pkg, arg)
+	if target != nil {
+		if ru != nil && ru != target {
+			u.p.Reportf(call.Pos(), "conversion rebrands %s as %s; cross dimensions in a %s helper",
+				u.display(ru), u.display(target), convertMarker)
+			u.claim(arg)
+			return
+		}
+		if isConstExpr(pkg, arg) {
+			u.claim(arg) // explicit attachment of a constant
+		}
+		return
+	}
+	basic, numeric := tv.Type.Underlying().(*types.Basic)
+	if numeric && basic.Info()&types.IsNumeric != 0 && ru != nil {
+		u.p.Reportf(call.Pos(), "conversion to %s erases unit %s; keep the unit type or cross dimensions in a %s helper",
+			basic.Name(), u.display(ru), convertMarker)
+		u.claim(arg)
+	}
+}
+
+// rawConst flags a nonzero untyped constant adopting a unit type with
+// no syntactic unit root — the implicit raw-literal-into-unit-sink
+// case.
+func (u *unitScanner) rawConst(pkg *Package, e ast.Expr) {
+	if u.attachOK[e] {
+		return
+	}
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return
+	}
+	tn := u.unitOf(tv.Type)
+	if tn == nil || zeroConst(tv.Value) {
+		return
+	}
+	if u.rootUnit(pkg, e) != nil {
+		return
+	}
+	u.p.Reportf(e.Pos(), "raw constant %s takes unit type %s; attach the unit explicitly (%s(...) or a typed constant)",
+		tv.Value.String(), u.display(tn), tn.Name())
+	u.claim(e)
+}
+
+// rootUnit resolves which unit an expression's value carries. For
+// non-constants the static type decides (unwrapping unit-erasing
+// conversions, so float64(pj) still roots in Picojoules); for constants
+// the recorded contextual type lies — an untyped 2.5 in a Picojoules
+// context is recorded as Picojoules — so resolution walks the syntax to
+// the declared types of named constants.
+func (u *unitScanner) rootUnit(pkg *Package, e ast.Expr) *types.TypeName {
+	e = ast.Unparen(e)
+	info := pkg.Info
+	tv, ok := info.Types[e]
+	if !ok {
+		return nil
+	}
+	if tv.Value == nil {
+		if tn := u.unitOf(tv.Type); tn != nil {
+			return tn
+		}
+		switch e := e.(type) {
+		case *ast.CallExpr:
+			fun := ast.Unparen(e.Fun)
+			if ftv, ok := info.Types[fun]; ok && ftv.IsType() && len(e.Args) == 1 {
+				return u.rootUnit(pkg, e.Args[0])
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.ADD || e.Op == token.SUB {
+				return u.rootUnit(pkg, e.X)
+			}
+		case *ast.BinaryExpr:
+			return combineUnits(u.rootUnit(pkg, e.X), u.rootUnit(pkg, e.Y))
+		}
+		return nil
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return u.unitOf(obj.Type())
+		}
+	case *ast.SelectorExpr:
+		if obj := info.Uses[e.Sel]; obj != nil {
+			return u.unitOf(obj.Type())
+		}
+	case *ast.CallExpr:
+		fun := ast.Unparen(e.Fun)
+		if ftv, ok := info.Types[fun]; ok && ftv.IsType() {
+			if tn := u.unitOf(ftv.Type); tn != nil {
+				return tn
+			}
+			if len(e.Args) == 1 {
+				return u.rootUnit(pkg, e.Args[0])
+			}
+		}
+	case *ast.UnaryExpr:
+		return u.rootUnit(pkg, e.X)
+	case *ast.BinaryExpr:
+		return combineUnits(u.rootUnit(pkg, e.X), u.rootUnit(pkg, e.Y))
+	}
+	return nil
+}
+
+// combineUnits merges operand units: agreement or one-sided dimensioned
+// operands keep the unit; a genuine mix resolves to nothing (the binop
+// rule reports it).
+func combineUnits(l, r *types.TypeName) *types.TypeName {
+	switch {
+	case l == r:
+		return l
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	}
+	return nil
+}
+
+func (u *unitScanner) unitOf(t types.Type) *types.TypeName {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if _, ok := u.units[named.Obj()]; ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// display renders a unit for messages: "Picojoules [pJ]", or just the
+// name when the tag carried no label.
+func (u *unitScanner) display(tn *types.TypeName) string {
+	if label, ok := u.units[tn]; ok && label != tn.Name() {
+		return tn.Name() + " [" + label + "]"
+	}
+	return tn.Name()
+}
+
+func (u *unitScanner) claim(n ast.Node) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m != nil {
+			u.claimed[m] = true
+		}
+		return true
+	})
+}
+
+func isConstExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[ast.Unparen(e)]
+	return ok && tv.Value != nil
+}
+
+func zeroConst(v constant.Value) bool {
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	}
+	return false
+}

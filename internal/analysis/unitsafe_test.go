@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// loadUnitfixModule mounts the units fixture as an in-module package.
+func loadUnitfixModule(t *testing.T) *Module {
+	t.Helper()
+	const path = "flov/internal/unitfix"
+	loader := newDirLoader(t, map[string]string{path: "units"})
+	if _, err := loader.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	return NewModule(loader.ModulePath, loader.Fset, loader.Packages())
+}
+
+// TestUnitsafeFixture checks the units-of-measure lint against the
+// marked violations in testdata/units: unit-mixing arithmetic reached
+// through float64 laundering, rebranding and erasing conversions, raw
+// constants adopting a unit type at every sink, and the reasonless
+// convert marker — next to the explicit attachments, dimensionless
+// scale factors and package-level calibration data that must stay
+// silent.
+func TestUnitsafeFixture(t *testing.T) {
+	m := loadUnitfixModule(t)
+
+	got := make(map[finding]int)
+	for _, d := range RunModule(m, []*ModuleAnalyzer{UnitsafeAnalyzer}) {
+		got[finding{filepath.Base(d.Pos.Filename), d.Pos.Line, d.Rule}]++
+	}
+
+	dir, err := filepath.Abs(filepath.Join("testdata", "units"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wantFindings(t, dir)
+	for f, n := range want {
+		if f.rule != "unitsafe" {
+			continue
+		}
+		if got[f] != n {
+			t.Errorf("%s:%d: want %d %s finding(s), got %d", f.file, f.line, n, f.rule, got[f])
+		}
+	}
+	for f, n := range got {
+		if want[f] == 0 {
+			t.Errorf("%s:%d: unexpected %s finding (x%d)", f.file, f.line, f.rule, n)
+		}
+	}
+}
+
+// TestUnitsafeNoTagsNoFindings checks the analyzer is inert on a load
+// set with no //flovunit tags at all (the purity fixture).
+func TestUnitsafeNoTagsNoFindings(t *testing.T) {
+	const path = "flov/internal/purefix"
+	loader := newDirLoader(t, map[string]string{path: "purity"})
+	if _, err := loader.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	m := NewModule(loader.ModulePath, loader.Fset, loader.Packages())
+	if diags := RunModule(m, []*ModuleAnalyzer{UnitsafeAnalyzer}); len(diags) != 0 {
+		t.Fatalf("unitsafe should be inert without unit tags, got %v", diags)
+	}
+}

@@ -47,8 +47,8 @@ func (c DynCategory) String() string {
 type Ledger struct {
 	model *Model //flovsnap:skip immutable power model derived from config
 
-	dynPJ    [NumCategories]float64
-	staticPJ float64
+	dynPJ    [NumCategories]Picojoules
+	staticPJ Picojoules
 	cycles   int64
 	enabled  bool
 }
@@ -72,7 +72,7 @@ func (l *Ledger) AddDyn(c DynCategory, n int) {
 	if !l.enabled || n == 0 {
 		return
 	}
-	var per float64
+	var per Picojoules
 	switch c {
 	case CatBuffer:
 		per = 0 // use AddBufferWrite/Read instead
@@ -91,7 +91,7 @@ func (l *Ledger) AddDyn(c DynCategory, n int) {
 	case CatGating:
 		per = l.model.GatingOverheadPJ()
 	}
-	l.dynPJ[c] += per * float64(n)
+	l.dynPJ[c] += per.Scale(float64(n))
 }
 
 // Buffer events have distinct write/read energies, so they get dedicated
@@ -100,14 +100,14 @@ func (l *Ledger) AddDyn(c DynCategory, n int) {
 // AddBufferWrite charges n buffer-write events.
 func (l *Ledger) AddBufferWrite(n int) {
 	if l.enabled {
-		l.dynPJ[CatBuffer] += EBufWritePJ * float64(n)
+		l.dynPJ[CatBuffer] += EBufWritePJ.Scale(float64(n))
 	}
 }
 
 // AddBufferRead charges n buffer-read events.
 func (l *Ledger) AddBufferRead(n int) {
 	if l.enabled {
-		l.dynPJ[CatBuffer] += EBufReadPJ * float64(n)
+		l.dynPJ[CatBuffer] += EBufReadPJ.Scale(float64(n))
 	}
 }
 
@@ -119,7 +119,7 @@ func (l *Ledger) TickStatic(onRouters, gatedRouters int, flovCapable bool) {
 		return
 	}
 	m := l.model
-	var onW, gatedW float64
+	var onW, gatedW Watts
 	if flovCapable {
 		onW = m.FLOVRouterStaticW()
 		gatedW = m.GatedFLOVRouterStaticW()
@@ -127,10 +127,10 @@ func (l *Ledger) TickStatic(onRouters, gatedRouters int, flovCapable bool) {
 		onW = m.RouterStaticW()
 		gatedW = m.GatedRouterStaticW()
 	}
-	linkW := float64(m.LinksInMesh()) * m.LinkStaticW()
-	totalW := float64(onRouters)*onW + float64(gatedRouters)*gatedW + linkW
+	linkW := m.LinkStaticW().Scale(float64(m.LinksInMesh()))
+	totalW := onW.Scale(float64(onRouters)) + gatedW.Scale(float64(gatedRouters)) + linkW
 	// One cycle at ClockHz: E[pJ] = P[W] * (1/ClockHz)[s] * 1e12.
-	l.staticPJ += totalW / m.cfg.ClockHz * 1e12
+	l.staticPJ += totalW.EnergyPerCycle(m.ClockHz())
 	l.cycles++
 }
 
@@ -138,19 +138,25 @@ func (l *Ledger) TickStatic(onRouters, gatedRouters int, flovCapable bool) {
 func (l *Ledger) Cycles() int64 { return l.cycles }
 
 // DynamicEnergyPJ returns total dynamic energy, optionally per category.
+//
+//flovunit:convert raw-float reporting boundary for stats/metrics consumers
 func (l *Ledger) DynamicEnergyPJ() float64 {
-	var sum float64
+	var sum Picojoules
 	for _, e := range l.dynPJ {
 		sum += e
 	}
-	return sum
+	return float64(sum)
 }
 
 // CategoryEnergyPJ returns the dynamic energy billed to one category.
-func (l *Ledger) CategoryEnergyPJ(c DynCategory) float64 { return l.dynPJ[c] }
+//
+//flovunit:convert raw-float reporting boundary for stats/metrics consumers
+func (l *Ledger) CategoryEnergyPJ(c DynCategory) float64 { return float64(l.dynPJ[c]) }
 
 // StaticEnergyPJ returns total integrated leakage energy.
-func (l *Ledger) StaticEnergyPJ() float64 { return l.staticPJ }
+//
+//flovunit:convert raw-float reporting boundary for stats/metrics consumers
+func (l *Ledger) StaticEnergyPJ() float64 { return float64(l.staticPJ) }
 
 // TotalEnergyPJ returns static plus dynamic energy.
 func (l *Ledger) TotalEnergyPJ() float64 { return l.StaticEnergyPJ() + l.DynamicEnergyPJ() }

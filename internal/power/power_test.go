@@ -29,7 +29,7 @@ func TestGatedResidualOrdering(t *testing.T) {
 	if !(m.FLOVRouterStaticW() > m.RouterStaticW()) {
 		t.Fatal("HSC/PSR overhead must add leakage")
 	}
-	ratio := m.GatedRouterStaticW() / m.RouterStaticW()
+	ratio := float64(m.GatedRouterStaticW() / m.RouterStaticW())
 	if math.Abs(ratio-GatedResidualFrac) > 1e-9 {
 		t.Fatalf("residual fraction = %v", ratio)
 	}
@@ -66,11 +66,11 @@ func TestLedgerDynamicAccounting(t *testing.T) {
 	l.AddBufferRead(2)
 	l.AddDyn(CatCrossbar, 3)
 	l.AddDyn(CatLink, 1)
-	want := 2*EBufWritePJ + 2*EBufReadPJ + 3*EXbarPJ + ELinkPJ
+	want := float64(2*EBufWritePJ + 2*EBufReadPJ + 3*EXbarPJ + ELinkPJ)
 	if math.Abs(l.DynamicEnergyPJ()-want) > 1e-9 {
 		t.Fatalf("dyn = %v want %v", l.DynamicEnergyPJ(), want)
 	}
-	if math.Abs(l.CategoryEnergyPJ(CatCrossbar)-3*EXbarPJ) > 1e-9 {
+	if math.Abs(l.CategoryEnergyPJ(CatCrossbar)-float64(3*EXbarPJ)) > 1e-9 {
 		t.Fatal("category accounting wrong")
 	}
 }
@@ -93,7 +93,7 @@ func TestLedgerStaticIntegration(t *testing.T) {
 		l.TickStatic(64, 0, false)
 	}
 	// Expected: (64 routers + links) for 1 us at 2 GHz.
-	wantW := 64*m.RouterStaticW() + float64(m.LinksInMesh())*m.LinkStaticW()
+	wantW := float64(64*m.RouterStaticW() + m.LinkStaticW().Scale(float64(m.LinksInMesh())))
 	gotW := l.StaticPowerW()
 	if math.Abs(gotW-wantW)/wantW > 1e-9 {
 		t.Fatalf("static power %v W, want %v W", gotW, wantW)
@@ -120,6 +120,69 @@ func TestPowerZeroWhenNoCycles(t *testing.T) {
 	if l.StaticPowerW() != 0 || l.DynamicPowerW() != 0 || l.TotalPowerW() != 0 {
 		t.Fatal("power must be 0 with no measured cycles")
 	}
+}
+
+// TestTypedUnitsPreserveNumerics pins the typed-unit refactor to the
+// exact raw-float arithmetic it replaced: every derived figure and
+// every accumulated ledger total must be bit-identical to the untyped
+// formulation (Scale commutes a multiply, which IEEE 754 permits;
+// everything else keeps the original operation order).
+func TestTypedUnitsPreserveNumerics(t *testing.T) {
+	cfg := config.Default()
+	m := NewModel(cfg)
+
+	sameBits := func(name string, got, want float64) {
+		t.Helper()
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("%s = %v (bits %016x), want %v (bits %016x)",
+				name, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+
+	rawRouterW := float64(m.BufferSlots())*55e-6 + 1.6e-3 + 0.4e-3 + 1.2e-3
+	rawOnW := rawRouterW * (1 + 0.01)
+	rawGatedW := rawRouterW*0.07 + 0.15e-3
+	sameBits("RouterStaticW", float64(m.RouterStaticW()), rawRouterW)
+	sameBits("FLOVRouterStaticW", float64(m.FLOVRouterStaticW()), rawOnW)
+	sameBits("GatedRouterStaticW", float64(m.GatedRouterStaticW()), rawRouterW*0.07)
+	sameBits("GatedFLOVRouterStaticW", float64(m.GatedFLOVRouterStaticW()), rawGatedW)
+
+	l := NewLedger(m)
+	l.SetEnabled(true)
+	l.AddBufferWrite(3)
+	l.AddBufferRead(2)
+	l.AddDyn(CatCrossbar, 7)
+	l.AddDyn(CatGating, 2)
+	for i := 0; i < 1000; i++ {
+		l.TickStatic(60, 4, true)
+	}
+
+	var rawCat [NumCategories]float64
+	rawCat[CatBuffer] += 1.30 * float64(3)
+	rawCat[CatBuffer] += 0.90 * float64(2)
+	rawCat[CatCrossbar] += 1.90 * float64(7)
+	rawCat[CatGating] += cfg.GatingOverheadPJ * float64(2)
+	var rawDyn float64
+	for _, e := range rawCat {
+		rawDyn += e
+	}
+	rawLinkW := 0.4e-3 * float64(m.LinksInMesh())
+	rawTotalW := rawOnW*float64(60) + rawGatedW*float64(4) + rawLinkW
+	var rawStatic float64
+	for i := 0; i < 1000; i++ {
+		rawStatic += rawTotalW / cfg.ClockHz * 1e12
+	}
+
+	sameBits("DynamicEnergyPJ", l.DynamicEnergyPJ(), rawDyn)
+	sameBits("CategoryEnergyPJ(CatBuffer)", l.CategoryEnergyPJ(CatBuffer), rawCat[CatBuffer])
+	sameBits("StaticEnergyPJ", l.StaticEnergyPJ(), rawStatic)
+
+	// The []float64 snapshot wire format must survive the round trip.
+	state := l.CaptureState()
+	fresh := NewLedger(m)
+	fresh.RestoreState(state)
+	sameBits("restored StaticEnergyPJ", fresh.StaticEnergyPJ(), l.StaticEnergyPJ())
+	sameBits("restored DynamicEnergyPJ", fresh.DynamicEnergyPJ(), l.DynamicEnergyPJ())
 }
 
 func TestCategoryNames(t *testing.T) {

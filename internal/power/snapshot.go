@@ -10,19 +10,28 @@ type LedgerState struct {
 }
 
 // CaptureState copies the ledger's accumulators.
+//
+//flovunit:convert the snapshot wire format stays raw []float64
 func (l *Ledger) CaptureState() LedgerState {
+	dyn := make([]float64, len(l.dynPJ))
+	for i, e := range l.dynPJ {
+		dyn[i] = float64(e)
+	}
 	return LedgerState{
-		DynPJ:    append([]float64(nil), l.dynPJ[:]...),
-		StaticPJ: l.staticPJ,
+		DynPJ:    dyn,
+		StaticPJ: float64(l.staticPJ),
 		Cycles:   l.cycles,
 		Enabled:  l.enabled,
 	}
 }
 
-// RestoreState overwrites the ledger's accumulators.
+// RestoreState overwrites the ledger's accumulators. Like the copy() it
+// replaced, a short DynPJ slice leaves the remaining categories alone.
 func (l *Ledger) RestoreState(s LedgerState) {
-	copy(l.dynPJ[:], s.DynPJ)
-	l.staticPJ = s.StaticPJ
+	for i := 0; i < len(s.DynPJ) && i < len(l.dynPJ); i++ {
+		l.dynPJ[i] = Picojoules(s.DynPJ[i])
+	}
+	l.staticPJ = Picojoules(s.StaticPJ)
 	l.cycles = s.Cycles
 	l.enabled = s.Enabled
 }

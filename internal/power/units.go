@@ -1,0 +1,38 @@
+package power
+
+// Typed units of measure for the energy model. The //flovunit tags make
+// these unit types for flovlint's unitsafe rule: arithmetic mixing two
+// of them, conversions rebranding one as another, and raw constants
+// adopting a unit implicitly are all findings. The only legitimate
+// dimension crossings live in the //flovunit:convert helpers below and
+// on the raw-float reporting getters, each with its reason on record.
+//
+// The wrappers are numerically transparent: Scale multiplies by a
+// dimensionless count with the same single IEEE multiply as the
+// untyped code used, and EnergyPerCycle keeps the exact operation
+// order of the integration it replaced, so every accumulated figure is
+// byte-identical to the pre-typed model (pinned by
+// TestTypedUnitsPreserveNumerics).
+
+// Picojoules is an amount of energy.
+type Picojoules float64 //flovunit pJ
+
+// Watts is a power draw.
+type Watts float64 //flovunit W
+
+// Hertz is a clock frequency.
+type Hertz float64 //flovunit Hz
+
+// Scale multiplies an energy by a dimensionless event count.
+func (p Picojoules) Scale(n float64) Picojoules { return p * Picojoules(n) }
+
+// Scale multiplies a power draw by a dimensionless instance count.
+func (w Watts) Scale(n float64) Watts { return w * Watts(n) }
+
+// EnergyPerCycle integrates one clock cycle of this power draw:
+// E[pJ] = P[W] * (1/hz)[s] * 1e12.
+//
+//flovunit:convert the one W·s→pJ dimension crossing in the model
+func (w Watts) EnergyPerCycle(hz Hertz) Picojoules {
+	return Picojoules(float64(w) / float64(hz) * 1e12)
+}
