@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flov/internal/sweep"
+)
+
+// rowLine renders one rows.ndjson record as the recorder writes it.
+func rowLine(t *testing.T, r sweep.Result) string {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data) + "\n"
+}
+
+func testRows(t *testing.T) []sweep.Result {
+	t.Helper()
+	spec := sweep.Spec{
+		Patterns:   []string{"uniform"},
+		Rates:      []float64{0.1, 0.2},
+		GatedFracs: []float64{0.5},
+		Mechanisms: []string{"baseline"},
+		Width:      4, Height: 4,
+		Cycles: 100, Warmup: 10,
+		Seed: 7,
+	}
+	points, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]sweep.Result, len(points))
+	for i, p := range points {
+		rows[i] = sweep.Result{Job: p}
+	}
+	return rows
+}
+
+// TestLoadRowsTornTail pins the resume reader's crash tolerance: a
+// partial final record (crash mid-append) is skipped and every complete
+// row before it still loads.
+func TestLoadRowsTornTail(t *testing.T) {
+	rows := testRows(t)
+	path := filepath.Join(t.TempDir(), "rows.ndjson")
+	content := rowLine(t, rows[0]) + rowLine(t, rows[1])
+	content += `{"job":{"pattern":"uniform","ra` // torn tail, no newline
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := loadRows(path)
+	if len(got) != 2 {
+		t.Fatalf("loaded %d rows, want 2 (torn tail skipped)", len(got))
+	}
+	for _, r := range rows {
+		if _, ok := got[r.Job.Hash()]; !ok {
+			t.Errorf("row for %s lost", r.Job.Desc())
+		}
+	}
+}
+
+// TestLoadRowsZeroByteAndMissing: both degenerate files mean "no durable
+// rows", never an error.
+func TestLoadRowsZeroByteAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	if got := loadRows(filepath.Join(dir, "absent.ndjson")); len(got) != 0 {
+		t.Fatalf("missing file loaded %d rows", len(got))
+	}
+	path := filepath.Join(dir, "empty.ndjson")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := loadRows(path); len(got) != 0 {
+		t.Fatalf("zero-byte file loaded %d rows", len(got))
+	}
+}
+
+// TestLoadRowsDuplicateLastWriteWins: re-appended rows for the same
+// point (an interrupted run resumed twice) resolve to the last record.
+func TestLoadRowsDuplicateLastWriteWins(t *testing.T) {
+	rows := testRows(t)
+	first := rows[0]
+	second := rows[0]
+	second.Res.AvgLatency = first.Res.AvgLatency + 1 // distinguishable duplicate
+
+	path := filepath.Join(t.TempDir(), "rows.ndjson")
+	content := rowLine(t, first) + rowLine(t, second)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := loadRows(path)
+	if len(got) != 1 {
+		t.Fatalf("loaded %d rows, want 1", len(got))
+	}
+	if r := got[first.Job.Hash()]; r.Res.AvgLatency != second.Res.AvgLatency {
+		t.Fatalf("AvgLatency = %v, want last write %v", r.Res.AvgLatency, second.Res.AvgLatency)
+	}
+}
+
+// TestLoadRowsSkipsErrorAndBlankLines: error-carrying rows re-simulate
+// (they are never adopted), and blank lines are tolerated.
+func TestLoadRowsSkipsErrorAndBlankLines(t *testing.T) {
+	rows := testRows(t)
+	bad := rows[1]
+	bad.Err = "transient simulator failure"
+
+	path := filepath.Join(t.TempDir(), "rows.ndjson")
+	content := rowLine(t, rows[0]) + "\n\n" + rowLine(t, bad) + "not json at all\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := loadRows(path)
+	if len(got) != 1 {
+		t.Fatalf("loaded %d rows, want 1", len(got))
+	}
+	if _, ok := got[bad.Job.Hash()]; ok {
+		t.Fatal("error row adopted")
+	}
+}

@@ -152,7 +152,7 @@ func TestNondetAllowlistedPath(t *testing.T) {
 // deadlines, metrics), so the nondeterm analyzer must stay silent for
 // internal/service and its subpackages.
 func TestNondetServiceAllowlisted(t *testing.T) {
-	for _, path := range []string{"flov/internal/service", "flov/internal/service/client"} {
+	for _, path := range []string{"flov/internal/service", "flov/internal/service/client", "flov/internal/cluster"} {
 		loader, _ := newTestLoader(t, path)
 		pkg, err := loader.Load(path)
 		if err != nil {

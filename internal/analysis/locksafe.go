@@ -39,6 +39,7 @@ var LockSafeAnalyzer = &Analyzer{
 var lockSafeScope = []string{
 	"flov/internal/service",
 	"flov/internal/nlog",
+	"flov/internal/cluster",
 }
 
 func runLockSafe(p *Pass) {

@@ -21,6 +21,7 @@ var wallClockAllowed = []string{
 	"flov/internal/analysis", // this tool
 	"flov/internal/service",  // serving layer: real deadlines, queues, metrics
 	"flov/internal/service/", // ... and its subpackages (client)
+	"flov/internal/cluster",  // cluster plane: leases, deadlines, backoff are wall-clock by nature
 }
 
 // wallClockFuncs are the time-package functions that read the wall

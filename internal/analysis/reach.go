@@ -81,6 +81,11 @@ func DefaultReachRoots() []RootSpec {
 		// on must stay pure or fronts stop reproducing across processes.
 		{Pkg: "flov/internal/opt", Recv: "run", Func: "propose"},
 		{Pkg: "flov/internal/opt", Recv: "run", Func: "absorb"},
+		// The cluster's terminal row assembly: its output is the
+		// byte-compared artifact of the "same rows on any topology"
+		// contract, so nothing wall-clock or map-ordered may reach it
+		// even though the rest of internal/cluster is allowlisted.
+		{Pkg: "flov/internal/cluster", Func: "assembleRows"},
 	}
 }
 

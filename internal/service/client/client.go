@@ -10,7 +10,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -24,11 +26,113 @@ import (
 type Client struct {
 	base string
 	http *http.Client
+	// Retry tunes transient-failure handling; the zero value uses the
+	// defaults documented on RetryPolicy.
+	Retry RetryPolicy
+}
+
+// RetryPolicy bounds the client's automatic retry of throttled (429)
+// and server-failure (5xx) responses. Waits honor the server's
+// Retry-After header when present — flovd emits it on 429 — and
+// otherwise back off exponentially with jitter, so a herd of throttled
+// clients does not re-arrive in lockstep.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per request. <= 0 means 4;
+	// 1 disables retry.
+	Attempts int
+	// BaseDelay seeds the exponential backoff. <= 0 means 200ms.
+	BaseDelay time.Duration
+	// MaxDelay caps one backoff wait (Retry-After may exceed it).
+	// <= 0 means 5s.
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.Attempts > 0 {
+		return p.Attempts
+	}
+	return 4
+}
+
+func (p RetryPolicy) baseDelay() time.Duration {
+	if p.BaseDelay > 0 {
+		return p.BaseDelay
+	}
+	return 200 * time.Millisecond
+}
+
+func (p RetryPolicy) maxDelay() time.Duration {
+	if p.MaxDelay > 0 {
+		return p.MaxDelay
+	}
+	return 5 * time.Second
 }
 
 // New returns a client for the daemon at base (e.g. "http://host:8080").
 func New(base string) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{}}
+}
+
+// retryable reports whether a status is worth re-trying: throttling and
+// server-side failures. Everything 4xx-but-429 is the caller's bug.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status >= 500
+}
+
+// retryAfter parses a response's Retry-After header (whole seconds; the
+// HTTP-date form is ignored as no flov server emits it).
+func retryAfter(resp *http.Response) time.Duration {
+	s, err := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After")))
+	if err != nil || s < 0 {
+		return 0
+	}
+	return time.Duration(s) * time.Second
+}
+
+// backoff computes the jittered exponential wait for a retry attempt
+// (0-based): a random value in [d/2, d] where d doubles per attempt up
+// to the cap.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.baseDelay() << attempt
+	if max := p.maxDelay(); d > max || d <= 0 {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// doRetry issues a request built by mk, retrying 429/5xx responses up
+// to the policy's attempt budget. mk is called per attempt because a
+// request body is consumed by the transport. The final response (or
+// transport error) is returned as-is, so callers' status handling is
+// unchanged when retries are exhausted.
+func (c *Client) doRetry(ctx context.Context, mk func() (*http.Request, error)) (*http.Response, error) {
+	attempts := c.Retry.attempts()
+	for attempt := 0; ; attempt++ {
+		req, err := mk()
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			return nil, err // transport errors are not retried: the request may have executed
+		}
+		if !retryable(resp.StatusCode) || attempt >= attempts-1 {
+			return resp, nil
+		}
+		wait := retryAfter(resp)
+		if wait == 0 {
+			wait = c.Retry.backoff(attempt)
+		}
+		// Drain so the connection can be reused across the wait.
+		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		_ = resp.Body.Close()
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(wait):
+		}
+	}
 }
 
 // apiError decodes a non-2xx response into an error carrying the
@@ -48,20 +152,20 @@ func (c *Client) postSpec(ctx context.Context, path string, spec sweep.Spec) (*h
 	if err != nil {
 		return nil, fmt.Errorf("client: encode spec: %w", err)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.http.Do(req)
+	return c.doRetry(ctx, func() (*http.Request, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		return req, nil
+	})
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, v any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return err
-	}
-	resp, err := c.http.Do(req)
+	resp, err := c.doRetry(ctx, func() (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	})
 	if err != nil {
 		return err
 	}

@@ -2,9 +2,11 @@ package client_test
 
 import (
 	"context"
+	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -179,5 +181,117 @@ func TestUnknownJobErrors(t *testing.T) {
 	}
 	if _, err := c.Results(context.Background(), "no-such-job"); err == nil || !strings.Contains(err.Error(), "404") {
 		t.Fatalf("Results(unknown) = %v, want an HTTP 404 error", err)
+	}
+}
+
+// throttleServer answers 429 (with the given Retry-After header) for
+// the first n requests, then proxies to the real daemon handler.
+func throttleServer(t *testing.T, n int, retryAfter string, next http.Handler) (*httptest.Server, *int32) {
+	t.Helper()
+	var seen int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if int(atomic.AddInt32(&seen, 1)) <= n {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_, _ = w.Write([]byte(`{"error":"queue full"}`))
+			return
+		}
+		next.ServeHTTP(w, r)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &seen
+}
+
+// TestSubmitRetriesThrottled: a 429 with Retry-After is retried within
+// the attempt budget and the submission eventually lands.
+func TestSubmitRetriesThrottled(t *testing.T) {
+	s := service.New(service.Config{Workers: 1})
+	t.Cleanup(func() { s.Close() })
+	srv, seen := throttleServer(t, 2, "0", s.Handler())
+
+	c := client.New(srv.URL)
+	c.Retry = client.RetryPolicy{Attempts: 4, BaseDelay: time.Millisecond}
+	st, err := c.Submit(context.Background(), testSpec(0.01))
+	if err != nil {
+		t.Fatalf("submit with retries: %v", err)
+	}
+	if st.ID == "" {
+		t.Fatal("no job id")
+	}
+	if got := atomic.LoadInt32(seen); got != 3 {
+		t.Fatalf("server saw %d requests, want 3 (two throttled + one admitted)", got)
+	}
+}
+
+// TestSubmitRetryExhausted: when every attempt is throttled the final
+// 429 surfaces as an error after exactly Attempts tries.
+func TestSubmitRetryExhausted(t *testing.T) {
+	srv, seen := throttleServer(t, 1<<30, "0", nil)
+	c := client.New(srv.URL)
+	c.Retry = client.RetryPolicy{Attempts: 3, BaseDelay: time.Millisecond}
+	_, err := c.Submit(context.Background(), testSpec(0.01))
+	if err == nil || !strings.Contains(err.Error(), "429") {
+		t.Fatalf("err = %v, want surfaced 429", err)
+	}
+	if got := atomic.LoadInt32(seen); got != 3 {
+		t.Fatalf("server saw %d requests, want exactly the attempt budget (3)", got)
+	}
+}
+
+// TestRetryHonorsRetryAfter: the server's whole-second hint is waited
+// out rather than the (much shorter) backoff schedule.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	s := service.New(service.Config{Workers: 1})
+	t.Cleanup(func() { s.Close() })
+	srv, _ := throttleServer(t, 1, "1", s.Handler())
+
+	c := client.New(srv.URL)
+	c.Retry = client.RetryPolicy{Attempts: 2, BaseDelay: time.Millisecond}
+	start := time.Now()
+	if _, err := c.Submit(context.Background(), testSpec(0.01)); err != nil {
+		t.Fatal(err)
+	}
+	if wait := time.Since(start); wait < 900*time.Millisecond {
+		t.Fatalf("retried after %v, want >= ~1s per Retry-After", wait)
+	}
+}
+
+// TestRetryAbortsOnContextCancel: a canceled context ends the wait
+// immediately instead of sleeping out the backoff.
+func TestRetryAbortsOnContextCancel(t *testing.T) {
+	srv, _ := throttleServer(t, 1<<30, "30", nil)
+	c := client.New(srv.URL)
+	c.Retry = client.RetryPolicy{Attempts: 5}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Submit(ctx, testSpec(0.01))
+	if err == nil {
+		t.Fatal("submit succeeded against a permanently throttled server")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("context cancellation did not interrupt the retry wait")
+	}
+}
+
+// TestNoRetryOnClientError: 4xx other than 429 fails immediately.
+func TestNoRetryOnClientError(t *testing.T) {
+	var seen int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&seen, 1)
+		w.WriteHeader(http.StatusBadRequest)
+		_, _ = w.Write([]byte(`{"error":"bad spec"}`))
+	}))
+	t.Cleanup(srv.Close)
+	c := client.New(srv.URL)
+	c.Retry = client.RetryPolicy{Attempts: 5, BaseDelay: time.Millisecond}
+	if _, err := c.Submit(context.Background(), testSpec(0.01)); err == nil {
+		t.Fatal("want error")
+	}
+	if got := atomic.LoadInt32(&seen); got != 1 {
+		t.Fatalf("client retried a 400 (%d requests)", got)
 	}
 }

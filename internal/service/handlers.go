@@ -130,6 +130,19 @@ func submitStatus(err error) int {
 	}
 }
 
+// writeSubmitError answers a failed admission. Throttled submissions
+// (429, queue full) carry a Retry-After hint — a queue slot frees as
+// soon as any running job finishes, so a short whole-second wait is the
+// honest signal — which the service client's bounded-backoff retry
+// honors.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	status := submitStatus(err)
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeError(w, status, err.Error())
+}
+
 // handleSubmit is the fire-and-forget path: admit and answer 202 with
 // the job id; the job runs to completion server-side.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -140,7 +153,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, deduped, err := s.submit(points, true)
 	if err != nil {
-		writeError(w, submitStatus(err), err.Error())
+		writeSubmitError(w, err)
 		return
 	}
 	st := j.status()
@@ -160,7 +173,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	j, _, err := s.submit(points, false)
 	if err != nil {
-		writeError(w, submitStatus(err), err.Error())
+		writeSubmitError(w, err)
 		return
 	}
 	defer s.release(j)

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 
@@ -152,5 +153,30 @@ func TestSlicedShortJobNeverPreempts(t *testing.T) {
 	}
 	if got := metricValue(t, ts.URL, "flovd_jobs_preempted_total"); got != 0 {
 		t.Fatalf("flovd_jobs_preempted_total = %d, want 0", got)
+	}
+}
+
+// TestTimeoutIsAbsoluteAcrossPreemption pins the deadline fix: the job
+// deadline is set once at admission, so a sliced job that is preempted
+// and requeued many times still cancels when the original JobTimeout
+// elapses. Under the old per-slice clock each resume restarted the
+// budget, and a job whose slices were all shorter than JobTimeout could
+// never time out at all.
+func TestTimeoutIsAbsoluteAcrossPreemption(t *testing.T) {
+	// ~300ms of simulation per point serially: total wall time is far
+	// beyond the 300ms deadline, while each 25ms slice is far below it.
+	_, ts := newTestServer(t, Config{
+		Workers:    1,
+		Runners:    1,
+		JobSlice:   25 * time.Millisecond,
+		JobTimeout: 300 * time.Millisecond,
+	})
+	st := decodeStatus(t, postSpec(t, ts.URL+"/v1/sweeps", longSpec(0.05, 0.1, 0.15, 0.2)))
+	final := waitDone(t, ts.URL, st.ID)
+	if final.State != StateCanceled {
+		t.Fatalf("state = %q, want canceled (per-slice clock would run to done)", final.State)
+	}
+	if !strings.Contains(final.Err, "timeout") {
+		t.Fatalf("failure note = %q, want timeout", final.Err)
 	}
 }

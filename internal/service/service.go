@@ -40,9 +40,10 @@ type Config struct {
 	// Workers is the sweep.Engine pool size per job (<= 0 means
 	// GOMAXPROCS).
 	Workers int
-	// JobTimeout bounds one job's execution; 0 means no limit. On
-	// expiry the engine's context path cancels unstarted points and
-	// the job reports canceled.
+	// JobTimeout bounds one job's wall-clock lifetime from admission;
+	// 0 means no limit. The deadline is absolute — preemption and
+	// requeueing do not restart it — and on expiry the engine's context
+	// path cancels unstarted points and the job reports canceled.
 	JobTimeout time.Duration
 	// JobSlice, when positive, makes execution preemptible: a job that
 	// runs longer than one slice is checkpointed (points in flight
@@ -86,6 +87,12 @@ type job struct {
 
 	ctx    context.Context
 	cancel context.CancelFunc
+
+	// deadline is the job's absolute completion deadline (zero = none),
+	// fixed once at admission. Absolute, not a per-slice duration: a
+	// preempted job that requeues must not have its clock restarted, or
+	// a JobTimeout shorter than the sum of slices would never fire.
+	deadline time.Time
 
 	mu        sync.Mutex
 	state     string
@@ -256,6 +263,9 @@ func (s *Server) submit(points []sweep.Job, owned bool) (j *job, deduped bool, e
 		snapshots: make([][]byte, len(points)),
 		doneCh:    make(chan struct{}),
 	}
+	if s.cfg.JobTimeout > 0 {
+		j.deadline = time.Now().Add(s.cfg.JobTimeout)
+	}
 	j.feed.append(StreamEvent{Type: EventAccepted, ID: j.id, Total: len(points), State: StateQueued})
 	s.inflight[h] = j
 	s.jobs[j.id] = j
@@ -363,8 +373,10 @@ func (s *Server) execute(j *job) {
 
 	ctx := j.ctx
 	cancel := func() {}
-	if s.cfg.JobTimeout > 0 {
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+	if !j.deadline.IsZero() {
+		// The absolute admission-time deadline, not a fresh JobTimeout:
+		// every slice of a preempted job runs against the same clock.
+		ctx, cancel = context.WithDeadline(ctx, j.deadline)
 	}
 	engine := &sweep.Engine{
 		Workers:  s.cfg.Workers,

@@ -316,6 +316,9 @@ func TestStreamCancelFreesQueueSlot(t *testing.T) {
 	if respC.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("over-capacity submit: HTTP %d, want 429", respC.StatusCode)
 	}
+	if respC.Header.Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After hint")
+	}
 	_ = respC.Body.Close()
 
 	// Cancel B's stream: the job cancels and the slot frees.

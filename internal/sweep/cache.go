@@ -74,23 +74,45 @@ func (c *Cache) Get(j Job) (Result, bool) {
 		c.misses.Add(1)
 		return Result{}, false
 	}
-	var e entry
-	// Three integrity layers: the JSON must parse (truncated writes do
-	// not), the recorded key must match the slot, and the embedded job
-	// must re-hash to that key (a parseable-but-mangled body misses
-	// instead of serving rows for a different point). A cached Err is
-	// equally unusable — failures are never cached, so one on disk can
-	// only be corruption or a foreign writer — and misses too.
-	if err := json.Unmarshal(data, &e); err != nil ||
-		e.Hash != hash || e.Result.Job.Hash() != hash || e.Result.Err != "" {
+	r, ok := DecodeEntry(hash, data)
+	if !ok {
 		_ = os.Remove(c.path(hash)) // best effort: a stale entry just misses again
 		c.misses.Add(1)
 		return Result{}, false
 	}
 	c.hits.Add(1)
+	return r, true
+}
+
+// DecodeEntry validates raw entry bytes against the hash they claim to
+// answer and returns the result they carry. Three integrity layers: the
+// JSON must parse (truncated writes do not), the recorded key must
+// match the requested hash, and the embedded job must re-hash to that
+// key (a parseable-but-mangled body misses instead of serving rows for
+// a different point). An error-carrying entry is equally unusable —
+// failures are never cached, so one can only be corruption or a foreign
+// writer — and fails too. Shared by Get and by the cluster's cache
+// federation, so remote entries get exactly the local hardening.
+func DecodeEntry(hash string, data []byte) (Result, bool) {
+	var e entry
+	if err := json.Unmarshal(data, &e); err != nil ||
+		e.Hash != hash || e.Result.Job.Hash() != hash || e.Result.Err != "" {
+		return Result{}, false
+	}
 	r := e.Result
 	r.Wall = time.Duration(e.WallNS)
 	return r, true
+}
+
+// ReadEntry returns the raw stored bytes for a hash (the cluster's
+// federation endpoint serves these; the fetching side re-validates with
+// DecodeEntry, so a torn or mangled file transfers as a miss).
+func (c *Cache) ReadEntry(hash string) ([]byte, bool) {
+	data, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
 }
 
 // Put stores a finished result. Error-carrying results are the caller's
